@@ -1,0 +1,160 @@
+// Command coresim runs a single Corelite or CSFQ scenario on the paper's
+// evaluation topology (or a single-bottleneck dumbbell) and emits the
+// measured series as CSV plus a per-flow summary.
+//
+// Examples:
+//
+//	coresim -scheme corelite -flows 10 -duration 80s -summary
+//	coresim -scheme csfq -flows 2 -dumbbell -weights 1:1,2:2 -out run
+//
+// With -out PREFIX the tool writes PREFIX-allowed.csv,
+// PREFIX-received.csv and PREFIX-cumulative.csv.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	corelite "repro"
+	"repro/internal/topospec"
+	"repro/internal/trace"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "coresim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("coresim", flag.ContinueOnError)
+	var (
+		scheme   = fs.String("scheme", "corelite", "scheme: corelite or csfq")
+		flows    = fs.Int("flows", 10, "number of flows (1-20 on the paper topology)")
+		duration = fs.Duration("duration", 80*time.Second, "simulated duration")
+		seed     = fs.Int64("seed", 1, "random seed")
+		weights  = fs.String("weights", "", "per-flow weights, e.g. 1:1,2:2,5:3 (default weight 1)")
+		defaultW = fs.Float64("default-weight", 1, "weight for flows not listed in -weights")
+		dumbbell = fs.Bool("dumbbell", false, "use a single-bottleneck dumbbell instead of the paper topology")
+		topo     = fs.String("topo", "", "topology spec file (overrides -flows/-dumbbell/-weights)")
+		sample   = fs.Duration("sample", time.Second, "measurement window")
+		out      = fs.String("out", "", "output file prefix for CSV series (empty = no CSV)")
+		traceOut = fs.String("trace", "", "write an ns-2-style packet event trace to this file")
+		summary  = fs.Bool("summary", true, "print the per-flow summary")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	sc := corelite.Scenario{
+		Name:          "coresim",
+		Duration:      *duration,
+		Seed:          *seed,
+		NumFlows:      *flows,
+		DefaultWeight: *defaultW,
+		Dumbbell:      *dumbbell,
+		SampleWindow:  *sample,
+	}
+	switch strings.ToLower(*scheme) {
+	case "corelite":
+		sc.Scheme = corelite.SchemeCorelite
+	case "csfq":
+		sc.Scheme = corelite.SchemeCSFQ
+	default:
+		return fmt.Errorf("unknown scheme %q (want corelite or csfq)", *scheme)
+	}
+	if *weights != "" {
+		w, err := parseWeights(*weights)
+		if err != nil {
+			return err
+		}
+		sc.Weights = w
+	}
+	if *topo != "" {
+		spec, err := topospec.ParseFile(*topo)
+		if err != nil {
+			return err
+		}
+		sc.Spec = spec
+	}
+
+	var traceFile *os.File
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		traceFile = f
+		sc.Tracer = &corelite.WriterTracer{W: traceFile}
+	}
+
+	res, err := corelite.Run(sc)
+	if err != nil {
+		return err
+	}
+	if traceFile != nil {
+		fmt.Fprintln(stdout, "wrote", *traceOut)
+	}
+	if *summary {
+		if err := corelite.WriteSummary(stdout, res); err != nil {
+			return err
+		}
+	}
+	if *out != "" {
+		kinds := []trace.SeriesKind{
+			corelite.SeriesAllowed, corelite.SeriesReceived, corelite.SeriesCumulative,
+		}
+		for _, kind := range kinds {
+			path := fmt.Sprintf("%s-%s.csv", *out, kind)
+			if err := writeCSVFile(path, res, kind); err != nil {
+				return err
+			}
+			fmt.Fprintln(stdout, "wrote", path)
+		}
+	}
+	return nil
+}
+
+func writeCSVFile(path string, res *corelite.Result, kind trace.SeriesKind) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := corelite.WriteCSV(f, res, kind); err != nil {
+		f.Close()
+		return fmt.Errorf("write %s: %w", path, err)
+	}
+	return f.Close()
+}
+
+// parseWeights parses "1:1,2:2,5:3" into a weight map.
+func parseWeights(s string) (map[int]float64, error) {
+	out := make(map[int]float64)
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		kv := strings.SplitN(part, ":", 2)
+		if len(kv) != 2 {
+			return nil, fmt.Errorf("bad weight entry %q (want flow:weight)", part)
+		}
+		idx, err := strconv.Atoi(strings.TrimSpace(kv[0]))
+		if err != nil {
+			return nil, fmt.Errorf("bad flow index %q: %w", kv[0], err)
+		}
+		w, err := strconv.ParseFloat(strings.TrimSpace(kv[1]), 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad weight %q: %w", kv[1], err)
+		}
+		out[idx] = w
+	}
+	return out, nil
+}

@@ -1,0 +1,101 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestParseWeights(t *testing.T) {
+	got, err := parseWeights("1:1, 2:2.5 ,5:3")
+	if err != nil {
+		t.Fatalf("parseWeights: %v", err)
+	}
+	if got[1] != 1 || got[2] != 2.5 || got[5] != 3 {
+		t.Errorf("parseWeights = %v", got)
+	}
+	for _, bad := range []string{"1", "x:1", "1:y", "1:2:3"} {
+		if _, err := parseWeights(bad); err == nil {
+			t.Errorf("parseWeights(%q) succeeded", bad)
+		}
+	}
+	// Empty entries are skipped.
+	got, err = parseWeights("1:1,,")
+	if err != nil || len(got) != 1 {
+		t.Errorf("parseWeights with empties = %v, %v", got, err)
+	}
+}
+
+func TestRunEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	prefix := filepath.Join(dir, "run")
+	var sb strings.Builder
+	err := run([]string{
+		"-flows", "2", "-dumbbell", "-weights", "1:1,2:2",
+		"-duration", "5s", "-out", prefix,
+	}, &sb)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "scenario coresim (corelite)") {
+		t.Errorf("missing summary:\n%s", out)
+	}
+	for _, kind := range []string{"allowed", "received", "cumulative"} {
+		path := prefix + "-" + kind + ".csv"
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("missing %s: %v", path, err)
+		}
+		if !strings.HasPrefix(string(data), "time_s,flow1,flow2") {
+			t.Errorf("%s header wrong", path)
+		}
+	}
+}
+
+func TestRunCSFQAndErrors(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-scheme", "csfq", "-flows", "1", "-dumbbell", "-duration", "2s"}, &sb); err != nil {
+		t.Fatalf("csfq run: %v", err)
+	}
+	if err := run([]string{"-scheme", "nonsense"}, &sb); err == nil {
+		t.Error("unknown scheme accepted")
+	}
+	if err := run([]string{"-weights", "garbage"}, &sb); err == nil {
+		t.Error("bad weights accepted")
+	}
+	if err := run([]string{"-topo", "/does/not/exist"}, &sb); err == nil {
+		t.Error("missing topo file accepted")
+	}
+}
+
+func TestRunWithTopoAndTrace(t *testing.T) {
+	dir := t.TempDir()
+	topo := filepath.Join(dir, "t.topo")
+	spec := `
+node A core
+node B core
+duplex A B 4Mbps 5ms
+node in1 edge
+node out1 edge
+duplex in1 A 40Mbps 1ms
+duplex B out1 40Mbps 1ms
+flow 1 in1 out1 weight=2
+`
+	if err := os.WriteFile(topo, []byte(spec), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	tracePath := filepath.Join(dir, "out.tr")
+	var sb strings.Builder
+	if err := run([]string{"-topo", topo, "-duration", "3s", "-trace", tracePath}, &sb); err != nil {
+		t.Fatalf("run with topo: %v", err)
+	}
+	data, err := os.ReadFile(tracePath)
+	if err != nil {
+		t.Fatalf("trace file: %v", err)
+	}
+	if !strings.Contains(string(data), "in1->A") {
+		t.Errorf("trace content unexpected:\n%.200s", data)
+	}
+}

@@ -1,0 +1,148 @@
+// Command figures regenerates the data behind every figure of the paper's
+// evaluation section (Figures 3–10) and writes one CSV per figure plus a
+// comparison summary.
+//
+//	figures -outdir out           # all figures
+//	figures -fig 5 -fig 6         # just the startup comparison
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"time"
+
+	corelite "repro"
+	"repro/internal/trace"
+)
+
+// figure binds a paper figure number to its runner and the series it plots.
+type figure struct {
+	num    int
+	kind   trace.SeriesKind
+	runFn  func(int64) (*corelite.Result, error)
+	legend string
+}
+
+func figures() []figure {
+	return []figure{
+		{3, corelite.SeriesAllowed, corelite.RunFig3, "Corelite instantaneous rate, network dynamics (§4.1)"},
+		{4, corelite.SeriesCumulative, corelite.RunFig4, "Corelite cumulative service, network dynamics (§4.1)"},
+		{5, corelite.SeriesAllowed, corelite.RunFig5, "Corelite instantaneous rate, simultaneous start (§4.2)"},
+		{6, corelite.SeriesAllowed, corelite.RunFig6, "CSFQ instantaneous rate, simultaneous start (§4.2)"},
+		{7, corelite.SeriesAllowed, corelite.RunFig7, "Corelite instantaneous rate, staggered start (§4.3)"},
+		{8, corelite.SeriesAllowed, corelite.RunFig8, "CSFQ instantaneous rate, staggered start (§4.3)"},
+		{9, corelite.SeriesAllowed, corelite.RunFig9, "Corelite instantaneous rate, churn (§4.3)"},
+		{10, corelite.SeriesAllowed, corelite.RunFig10, "CSFQ instantaneous rate, churn (§4.3)"},
+	}
+}
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "figures:", err)
+		os.Exit(1)
+	}
+}
+
+// writeGnuplot emits a ready-to-run gnuplot script that renders the
+// figure's CSV in the paper's layout (time on x, one line per flow).
+func writeGnuplot(path string, fig figure, res *corelite.Result) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	ylabel := "alloted rate (pkt/s)"
+	if fig.kind == corelite.SeriesCumulative {
+		ylabel = "packets delivered"
+	}
+	fmt.Fprintf(f, "# gnuplot script for paper figure %d\n", fig.num)
+	fmt.Fprintf(f, "set datafile separator ','\n")
+	fmt.Fprintf(f, "set key outside right\n")
+	fmt.Fprintf(f, "set xlabel 'time in seconds'\n")
+	fmt.Fprintf(f, "set ylabel '%s'\n", ylabel)
+	fmt.Fprintf(f, "set title '%s'\n", fig.legend)
+	fmt.Fprintf(f, "set terminal pngcairo size 1000,600\n")
+	fmt.Fprintf(f, "set output 'fig%d.png'\n", fig.num)
+	fmt.Fprint(f, "plot \\\n")
+	for i, fl := range res.Flows {
+		sep := ", \\\n"
+		if i == len(res.Flows)-1 {
+			sep = "\n"
+		}
+		fmt.Fprintf(f, "  'fig%d.csv' using 1:%d with lines title 'flow%d'%s",
+			fig.num, i+2, fl.Index, sep)
+	}
+	return nil
+}
+
+type figList []int
+
+func (f *figList) String() string { return fmt.Sprint([]int(*f)) }
+
+func (f *figList) Set(s string) error {
+	n, err := strconv.Atoi(s)
+	if err != nil {
+		return err
+	}
+	*f = append(*f, n)
+	return nil
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("figures", flag.ContinueOnError)
+	var figs figList
+	outdir := fs.String("outdir", "figures-out", "directory for CSV output")
+	seed := fs.Int64("seed", 1, "random seed")
+	fs.Var(&figs, "fig", "figure number to regenerate (repeatable; default all)")
+	gnuplot := fs.Bool("gnuplot", false, "also write a gnuplot script per figure")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	want := make(map[int]bool, len(figs))
+	for _, n := range figs {
+		want[n] = true
+	}
+	if err := os.MkdirAll(*outdir, 0o755); err != nil {
+		return err
+	}
+
+	for _, fig := range figures() {
+		if len(want) > 0 && !want[fig.num] {
+			continue
+		}
+		start := time.Now()
+		res, err := fig.runFn(*seed)
+		if err != nil {
+			return fmt.Errorf("figure %d: %w", fig.num, err)
+		}
+		path := filepath.Join(*outdir, fmt.Sprintf("fig%d.csv", fig.num))
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		if err := corelite.WriteCSV(f, res, fig.kind); err != nil {
+			f.Close()
+			return fmt.Errorf("figure %d: %w", fig.num, err)
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		if *gnuplot {
+			gpPath := filepath.Join(*outdir, fmt.Sprintf("fig%d.gp", fig.num))
+			if err := writeGnuplot(gpPath, fig, res); err != nil {
+				return err
+			}
+		}
+		fmt.Printf("figure %2d: %s\n", fig.num, fig.legend)
+		fmt.Printf("           %s (%d events, %d losses, %v wall)\n",
+			path, res.Events, res.TotalLosses, time.Since(start).Round(time.Millisecond))
+		if err := corelite.WriteSummary(os.Stdout, res); err != nil {
+			return err
+		}
+		fmt.Println()
+	}
+	return nil
+}

@@ -1,0 +1,77 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestFigListFlag(t *testing.T) {
+	var f figList
+	if err := f.Set("5"); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Set("6"); err != nil {
+		t.Fatal(err)
+	}
+	if f.String() != "[5 6]" {
+		t.Errorf("String() = %q", f.String())
+	}
+	if err := f.Set("five"); err == nil {
+		t.Error("non-numeric figure accepted")
+	}
+}
+
+func TestFiguresTable(t *testing.T) {
+	figs := figures()
+	if len(figs) != 8 {
+		t.Fatalf("figures() lists %d entries, want 8 (Figures 3-10)", len(figs))
+	}
+	want := 3
+	for _, f := range figs {
+		if f.num != want {
+			t.Errorf("figure order: got %d, want %d", f.num, want)
+		}
+		want++
+		if f.runFn == nil || f.legend == "" {
+			t.Errorf("figure %d incomplete", f.num)
+		}
+	}
+}
+
+func TestRunSingleFigure(t *testing.T) {
+	dir := t.TempDir()
+	// Figure 5 is the cheapest (80 simulated seconds).
+	if err := run([]string{"-outdir", dir, "-fig", "5"}); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "fig5.csv"))
+	if err != nil {
+		t.Fatalf("fig5.csv: %v", err)
+	}
+	head := strings.SplitN(string(data), "\n", 2)[0]
+	if !strings.HasPrefix(head, "time_s,flow1") || !strings.Contains(head, "flow10") {
+		t.Errorf("fig5.csv header = %q", head)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "fig6.csv")); err == nil {
+		t.Error("fig6.csv written despite -fig 5 filter")
+	}
+}
+
+func TestRunWithGnuplot(t *testing.T) {
+	dir := t.TempDir()
+	if err := run([]string{"-outdir", dir, "-fig", "5", "-gnuplot"}); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "fig5.gp"))
+	if err != nil {
+		t.Fatalf("fig5.gp: %v", err)
+	}
+	gp := string(data)
+	for _, want := range []string{"set output 'fig5.png'", "using 1:2", "title 'flow10'"} {
+		if !strings.Contains(gp, want) {
+			t.Errorf("gnuplot script missing %q", want)
+		}
+	}
+}

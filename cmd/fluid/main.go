@@ -1,0 +1,104 @@
+// Command fluid iterates the analytical (fluid) model of Corelite's
+// weighted LIMD control loop and prints the rate trajectory — the
+// "analysis" companion to the packet-level simulation (paper §2.2: the
+// rates "asymptotically oscillate around the intersection of the fairness
+// and efficiency lines").
+//
+//	fluid -capacity 500 -weights 1,1,2,2,3,3,4,4,5,5 -epochs 20000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "fluid:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("fluid", flag.ContinueOnError)
+	capacity := fs.Float64("capacity", 500, "bottleneck capacity (pkt/s)")
+	weightsArg := fs.String("weights", "1,1,2,2,3,3,4,4,5,5", "comma-separated flow weights")
+	initialArg := fs.String("initial", "", "comma-separated initial rates (default: all 32, the slow-start exit)")
+	epochs := fs.Int("epochs", 20000, "epochs to iterate")
+	sample := fs.Int("sample", 1000, "print every N-th state")
+	tol := fs.Float64("tol", 0.1, "convergence tolerance for the summary")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	weights, err := parseFloats(*weightsArg)
+	if err != nil {
+		return fmt.Errorf("weights: %w", err)
+	}
+	var initial []float64
+	if *initialArg == "" {
+		initial = make([]float64, len(weights))
+		for i := range initial {
+			initial[i] = 32
+		}
+	} else {
+		initial, err = parseFloats(*initialArg)
+		if err != nil {
+			return fmt.Errorf("initial: %w", err)
+		}
+	}
+
+	cfg := analysis.FluidConfig{Capacity: *capacity, Weights: weights, Initial: initial}
+	traj, err := analysis.Run(cfg, *epochs, *sample)
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("%-8s %-10s %-10s  rates\n", "epoch", "fair-err", "eff-err")
+	for _, st := range traj {
+		fmt.Printf("%-8d %-10.4f %-10.4f  %s\n",
+			st.Epoch,
+			analysis.FairnessError(st.Rates, weights),
+			analysis.EfficiencyError(st.Rates, *capacity),
+			formatRates(st.Rates))
+	}
+	if epoch, ok := analysis.ConvergenceEpoch(traj, weights, *capacity, *tol); ok {
+		fmt.Printf("\nconverged to within %.0f%% of the fairness/efficiency intersection by epoch %d\n", *tol*100, epoch)
+	} else {
+		fmt.Printf("\ndid not converge to within %.0f%% over %d epochs\n", *tol*100, *epochs)
+	}
+	return nil
+}
+
+func parseFloats(s string) ([]float64, error) {
+	parts := strings.Split(s, ",")
+	out := make([]float64, 0, len(parts))
+	for _, p := range parts {
+		p = strings.TrimSpace(p)
+		if p == "" {
+			continue
+		}
+		v, err := strconv.ParseFloat(p, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad value %q", p)
+		}
+		out = append(out, v)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty list")
+	}
+	return out, nil
+}
+
+func formatRates(rates []float64) string {
+	parts := make([]string, len(rates))
+	for i, r := range rates {
+		parts[i] = strconv.FormatFloat(r, 'f', 1, 64)
+	}
+	return strings.Join(parts, " ")
+}

@@ -1,0 +1,34 @@
+package main
+
+import "testing"
+
+func TestParseFloats(t *testing.T) {
+	got, err := parseFloats("1, 2.5 ,3")
+	if err != nil || len(got) != 3 || got[1] != 2.5 {
+		t.Errorf("parseFloats = %v, %v", got, err)
+	}
+	if _, err := parseFloats("a,b"); err == nil {
+		t.Error("bad list accepted")
+	}
+	if _, err := parseFloats(" , "); err == nil {
+		t.Error("empty list accepted")
+	}
+}
+
+func TestRunDefaults(t *testing.T) {
+	if err := run([]string{"-epochs", "5000", "-sample", "5000"}); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run([]string{"-weights", "x"}); err == nil {
+		t.Error("bad weights accepted")
+	}
+	if err := run([]string{"-initial", "1"}); err == nil {
+		t.Error("mismatched initial length accepted")
+	}
+	if err := run([]string{"-capacity", "0"}); err == nil {
+		t.Error("zero capacity accepted")
+	}
+}

@@ -1,0 +1,64 @@
+// Command sweep regenerates the paper's §4.4 sensitivity analysis: it
+// reruns the Figure 5 startup scenario while varying one parameter — the
+// congestion epoch, the marking threshold, the per-hop latency, or the
+// marking constant K1 — and prints a table of losses, fairness, and
+// convergence per setting.
+//
+//	sweep -param epoch
+//	sweep -param latency -seed 3
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "sweep:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("sweep", flag.ContinueOnError)
+	param := fs.String("param", "epoch", "parameter to sweep: epoch, qthresh, latency, k1")
+	seed := fs.Int64("seed", 1, "random seed")
+	duration := fs.Duration("duration", 80*time.Second, "simulated duration per point")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var points []experiments.SweepPoint
+	switch *param {
+	case "epoch":
+		points = experiments.EpochSweep()
+	case "qthresh":
+		points = experiments.QThreshSweep()
+	case "latency":
+		points = experiments.LatencySweep()
+	case "k1":
+		points = experiments.K1Sweep()
+	default:
+		return fmt.Errorf("unknown parameter %q (want epoch, qthresh, latency, or k1)", *param)
+	}
+
+	base := experiments.Fig5Scenario(*seed)
+	base.Duration = *duration
+	fmt.Printf("sensitivity sweep over %s (Figure 5 scenario, %v, seed %d)\n\n", *param, *duration, *seed)
+	fmt.Printf("%-16s %-10s %-12s %-8s %-12s %-10s\n",
+		"point", "losses", "loss-ratio", "jain", "worst-conv", "converged")
+	results, err := experiments.Sweep(base, points)
+	if err != nil {
+		return err
+	}
+	for _, r := range results {
+		fmt.Printf("%-16s %-10d %-12.4f %-8.4f %-12v %-10v\n",
+			r.Label, r.Losses, r.LossRatio, r.Jain, r.WorstConv.Round(time.Second), r.AllConverged)
+	}
+	return nil
+}

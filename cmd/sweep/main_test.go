@@ -1,0 +1,15 @@
+package main
+
+import "testing"
+
+func TestSweepUnknownParam(t *testing.T) {
+	if err := run([]string{"-param", "bogus"}); err == nil {
+		t.Error("unknown parameter accepted")
+	}
+}
+
+func TestSweepK1Short(t *testing.T) {
+	if err := run([]string{"-param", "k1", "-duration", "5s"}); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+}

@@ -1,0 +1,167 @@
+package corelite_test
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"time"
+
+	corelite "repro"
+)
+
+// TestPublicQuickstart runs the README example through the public API and
+// checks the headline result: a 1:2 weighted split of one bottleneck with
+// zero losses.
+func TestPublicQuickstart(t *testing.T) {
+	sc := corelite.Scenario{
+		Name:     "two-flows",
+		Scheme:   corelite.SchemeCorelite,
+		Duration: 60 * time.Second,
+		Seed:     1,
+		NumFlows: 2,
+		Weights:  map[int]float64{1: 1, 2: 2},
+		Dumbbell: true,
+	}
+	res, err := corelite.Run(sc)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	r1 := res.Flow(1).AllowedRate.Final()
+	r2 := res.Flow(2).AllowedRate.Final()
+	if r1 < 120 || r1 > 220 {
+		t.Errorf("flow 1 final rate = %v, want ~167", r1)
+	}
+	if r2 < 260 || r2 > 420 {
+		t.Errorf("flow 2 final rate = %v, want ~333", r2)
+	}
+	if res.TotalLosses != 0 {
+		t.Errorf("losses = %d, want 0", res.TotalLosses)
+	}
+	if math.Abs(res.ExpectedFullSet[1]-500.0/3) > 1e-6 {
+		t.Errorf("oracle expected[1] = %v, want 166.7", res.ExpectedFullSet[1])
+	}
+}
+
+// TestPublicCSVAndSummary exercises the output helpers end to end.
+func TestPublicCSVAndSummary(t *testing.T) {
+	sc := corelite.Scenario{
+		Name:     "csv",
+		Scheme:   corelite.SchemeCorelite,
+		Duration: 5 * time.Second,
+		Seed:     1,
+		NumFlows: 2,
+		Dumbbell: true,
+	}
+	res, err := corelite.Run(sc)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	var csv, summary strings.Builder
+	if err := corelite.WriteCSV(&csv, res, corelite.SeriesAllowed); err != nil {
+		t.Fatalf("WriteCSV: %v", err)
+	}
+	if !strings.HasPrefix(csv.String(), "time_s,flow1,flow2") {
+		t.Errorf("CSV header wrong: %q", strings.SplitN(csv.String(), "\n", 2)[0])
+	}
+	if err := corelite.WriteSummary(&summary, res); err != nil {
+		t.Fatalf("WriteSummary: %v", err)
+	}
+	if !strings.Contains(summary.String(), "scenario csv (corelite)") {
+		t.Errorf("summary missing scenario line:\n%s", summary.String())
+	}
+}
+
+// TestPublicFigureScenarios checks that every figure constructor produces
+// a valid, runnable scenario definition.
+func TestPublicFigureScenarios(t *testing.T) {
+	for _, sc := range corelite.AllFigures(1) {
+		if err := sc.Validate(); err != nil {
+			t.Errorf("scenario %s invalid: %v", sc.Name, err)
+		}
+	}
+	// Figures 5/6 are the cheap ones; run them for real via the public
+	// runners.
+	res5, err := corelite.RunFig5(1)
+	if err != nil {
+		t.Fatalf("RunFig5: %v", err)
+	}
+	res6, err := corelite.RunFig6(1)
+	if err != nil {
+		t.Fatalf("RunFig6: %v", err)
+	}
+	if res5.Scheme != corelite.SchemeCorelite || res6.Scheme != corelite.SchemeCSFQ {
+		t.Error("figure runner schemes wrong")
+	}
+	// The §4.2 headline: CSFQ loses at least 10x more packets.
+	if res6.TotalLosses < 10*res5.TotalLosses {
+		t.Errorf("loss separation too small: corelite %d vs csfq %d",
+			res5.TotalLosses, res6.TotalLosses)
+	}
+}
+
+// TestPublicWeightProfiles spot-checks the exported weight helpers.
+func TestPublicWeightProfiles(t *testing.T) {
+	if corelite.WeightsFig3()[5] != 3 {
+		t.Error("WeightsFig3()[5] != 3")
+	}
+	if corelite.WeightsFig7()[10] != 3 {
+		t.Error("WeightsFig7()[10] != 3")
+	}
+	if corelite.WeightsCeilHalf(10)[9] != 5 {
+		t.Error("WeightsCeilHalf(10)[9] != 5")
+	}
+}
+
+// TestPublicExpectedRatesAt checks the oracle for a dynamic schedule.
+func TestPublicExpectedRatesAt(t *testing.T) {
+	sc := corelite.Scenario{
+		Scheme:   corelite.SchemeCorelite,
+		Duration: 100 * time.Second,
+		NumFlows: 2,
+		Weights:  map[int]float64{1: 1, 2: 3},
+		Dumbbell: true,
+		Schedules: map[int]corelite.Schedule{
+			2: corelite.Window(50*time.Second, 0),
+		},
+	}
+	early, err := corelite.ExpectedRatesAt(sc, 10*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(early[1]-500) > 1e-6 {
+		t.Errorf("early expected[1] = %v, want 500 (alone)", early[1])
+	}
+	late, err := corelite.ExpectedRatesAt(sc, 80*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(late[1]-125) > 1e-6 || math.Abs(late[2]-375) > 1e-6 {
+		t.Errorf("late expected = %v, want 125/375", late)
+	}
+}
+
+// TestPublicREDDiscipline plugs a RED core queue through the public
+// facade (the AQM-independence ablation path).
+func TestPublicREDDiscipline(t *testing.T) {
+	rng := corelite.NewRNG(3)
+	sc := corelite.Scenario{
+		Name:     "red-core",
+		Scheme:   corelite.SchemeCorelite,
+		Duration: 40 * time.Second,
+		Seed:     1,
+		NumFlows: 2,
+		Weights:  map[int]float64{1: 1, 2: 2},
+		Dumbbell: true,
+	}
+	sc.TopologyOptions.CoreQueue = func(link string, now func() time.Duration) corelite.Discipline {
+		return corelite.NewRED(corelite.DefaultREDConfig(40, 2*time.Millisecond), now, rng.Stream(link))
+	}
+	res, err := corelite.Run(sc)
+	if err != nil {
+		t.Fatalf("Run with RED core: %v", err)
+	}
+	ratio := (res.Flow(2).AllowedRate.Final() / 2) / res.Flow(1).AllowedRate.Final()
+	if ratio < 0.6 || ratio > 1.6 {
+		t.Errorf("weighted fairness broke under RED: normalized ratio %.2f", ratio)
+	}
+}

@@ -1,0 +1,51 @@
+// Quickstart: two flows with rate weights 1 and 2 share one 4 Mbps
+// bottleneck under Corelite. The run prints each flow's allowed rate as it
+// converges to the weighted max-min shares (≈167 and ≈333 packets/second)
+// without a single packet loss.
+package main
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	corelite "repro"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "quickstart:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	sc := corelite.Scenario{
+		Name:     "quickstart",
+		Scheme:   corelite.SchemeCorelite,
+		Duration: 60 * time.Second,
+		Seed:     1,
+		NumFlows: 2,
+		Weights:  map[int]float64{1: 1, 2: 2},
+		Dumbbell: true, // single 500 pkt/s bottleneck
+	}
+	res, err := corelite.Run(sc)
+	if err != nil {
+		return err
+	}
+
+	fmt.Println("Two flows, weights 1:2, one 500 pkt/s bottleneck (Corelite)")
+	fmt.Println()
+	fmt.Printf("%-8s %-14s %-14s\n", "time", "flow1 (w=1)", "flow2 (w=2)")
+	for t := 5 * time.Second; t <= sc.Duration; t += 5 * time.Second {
+		r1, _ := res.Flow(1).AllowedRate.ValueAt(t)
+		r2, _ := res.Flow(2).AllowedRate.ValueAt(t)
+		fmt.Printf("%-8v %-14.1f %-14.1f\n", t, r1, r2)
+	}
+	fmt.Println()
+	fmt.Printf("expected weighted max-min shares: flow1 %.1f, flow2 %.1f pkt/s\n",
+		res.ExpectedFullSet[1], res.ExpectedFullSet[2])
+	fmt.Printf("total packet losses: %d (Corelite throttles before queues overflow)\n",
+		res.TotalLosses)
+	return nil
+}

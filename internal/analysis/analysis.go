@@ -1,0 +1,210 @@
+// Package analysis provides the fluid (deterministic, packet-free) model
+// of Corelite's weighted LIMD control loop. The paper argues convergence
+// "through both simulations and analysis" by appeal to Chiu & Jain's
+// classical result: linear increase with a decrease proportional to the
+// flow's normalized rate converges to the intersection of the fairness and
+// efficiency lines (Figure 1.(4) of the paper). This package iterates that
+// idealized vector dynamics directly, giving an analytical reference the
+// packet-level simulation is validated against.
+//
+// Model, per epoch, for flows i = 1..n with weights w_i on one bottleneck
+// of capacity C:
+//
+//	congested:   Σ b_i > C  (with an optional detection threshold)
+//	quiet epoch: b_i ← b_i + α
+//	congested:   b_i ← max(min_i, b_i − β·k·b_i/w_i)
+//
+// where k is the feedback intensity (markers per unit of normalized rate),
+// mirroring m(f) = k·b_g/w of paper §2.2. The decrease is multiplicative
+// in the normalized rate, so normalized rates contract toward each other
+// while the efficiency line pulls the sum toward C.
+package analysis
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// FluidConfig parameterizes the fluid iteration.
+type FluidConfig struct {
+	// Capacity is the bottleneck capacity (pkt/s).
+	Capacity float64
+	// Weights holds one weight per flow.
+	Weights []float64
+	// Initial holds the starting rates (len must match Weights).
+	Initial []float64
+	// Minimums optionally holds per-flow contract floors (nil = none).
+	Minimums []float64
+	// Alpha is the per-epoch linear increase (default 1).
+	Alpha float64
+	// Beta is the per-indication decrease (default 1).
+	Beta float64
+	// FeedbackK is the feedback intensity k in m_i = k·b_i/w_i
+	// (default 0.05: five markers per epoch per 100 units of normalized
+	// rate).
+	FeedbackK float64
+	// Threshold is the congestion detection margin: feedback fires when
+	// Σb > Capacity − Threshold (default 0).
+	Threshold float64
+}
+
+// FluidState is one trajectory snapshot.
+type FluidState struct {
+	// Epoch counts iterations from 0.
+	Epoch int
+	// Rates are the per-flow rates after the epoch.
+	Rates []float64
+}
+
+// Trajectory is the sequence of states produced by Run.
+type Trajectory []FluidState
+
+// Final returns the last state's rates.
+func (t Trajectory) Final() []float64 {
+	if len(t) == 0 {
+		return nil
+	}
+	out := make([]float64, len(t[len(t)-1].Rates))
+	copy(out, t[len(t)-1].Rates)
+	return out
+}
+
+// validate normalizes and checks the config.
+func (c *FluidConfig) validate() error {
+	if c.Capacity <= 0 {
+		return errors.New("analysis: capacity must be positive")
+	}
+	if len(c.Weights) == 0 {
+		return errors.New("analysis: no flows")
+	}
+	if len(c.Initial) != len(c.Weights) {
+		return fmt.Errorf("analysis: %d initial rates for %d weights", len(c.Initial), len(c.Weights))
+	}
+	if c.Minimums != nil && len(c.Minimums) != len(c.Weights) {
+		return fmt.Errorf("analysis: %d minimums for %d weights", len(c.Minimums), len(c.Weights))
+	}
+	for i, w := range c.Weights {
+		if w <= 0 {
+			return fmt.Errorf("analysis: weight %d is %v", i, w)
+		}
+		if c.Initial[i] < 0 {
+			return fmt.Errorf("analysis: initial rate %d is negative", i)
+		}
+	}
+	if c.Alpha <= 0 {
+		c.Alpha = 1
+	}
+	if c.Beta <= 0 {
+		c.Beta = 1
+	}
+	if c.FeedbackK <= 0 {
+		c.FeedbackK = 0.05
+	}
+	return nil
+}
+
+// Run iterates the fluid dynamics for the given number of epochs,
+// recording every sampleEvery-th state (and always the final one).
+func Run(cfg FluidConfig, epochs, sampleEvery int) (Trajectory, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if epochs <= 0 {
+		return nil, errors.New("analysis: epochs must be positive")
+	}
+	if sampleEvery <= 0 {
+		sampleEvery = 1
+	}
+	rates := make([]float64, len(cfg.Initial))
+	copy(rates, cfg.Initial)
+	var out Trajectory
+	snapshot := func(e int) {
+		s := FluidState{Epoch: e, Rates: make([]float64, len(rates))}
+		copy(s.Rates, rates)
+		out = append(out, s)
+	}
+	snapshot(0)
+	for e := 1; e <= epochs; e++ {
+		total := 0.0
+		for _, r := range rates {
+			total += r
+		}
+		congested := total > cfg.Capacity-cfg.Threshold
+		for i := range rates {
+			if congested {
+				dec := cfg.Beta * cfg.FeedbackK * rates[i] / cfg.Weights[i]
+				rates[i] -= dec
+				floor := 0.0
+				if cfg.Minimums != nil {
+					floor = cfg.Minimums[i]
+				}
+				if rates[i] < floor {
+					rates[i] = floor
+				}
+			} else {
+				rates[i] += cfg.Alpha
+			}
+		}
+		if e%sampleEvery == 0 || e == epochs {
+			snapshot(e)
+		}
+	}
+	return out, nil
+}
+
+// FairnessError reports the relative L∞ distance of the rates' normalized
+// vector from perfect weighted fairness: max_i |n_i − n̄| / n̄ where
+// n_i = b_i/w_i.
+func FairnessError(rates, weights []float64) float64 {
+	if len(rates) == 0 || len(rates) != len(weights) {
+		return math.Inf(1)
+	}
+	mean := 0.0
+	norm := make([]float64, len(rates))
+	for i := range rates {
+		norm[i] = rates[i] / weights[i]
+		mean += norm[i]
+	}
+	mean /= float64(len(norm))
+	if mean <= 0 {
+		return math.Inf(1)
+	}
+	worst := 0.0
+	for _, n := range norm {
+		if d := math.Abs(n-mean) / mean; d > worst {
+			worst = d
+		}
+	}
+	return worst
+}
+
+// EfficiencyError reports |Σ rates − C| / C.
+func EfficiencyError(rates []float64, capacity float64) float64 {
+	if capacity <= 0 {
+		return math.Inf(1)
+	}
+	total := 0.0
+	for _, r := range rates {
+		total += r
+	}
+	return math.Abs(total-capacity) / capacity
+}
+
+// ConvergenceEpoch reports the first recorded epoch from which both the
+// fairness and efficiency errors stay within tol until the end of the
+// trajectory, and false if the trajectory never settles.
+func ConvergenceEpoch(t Trajectory, weights []float64, capacity, tol float64) (int, bool) {
+	last := -1
+	for i := len(t) - 1; i >= 0; i-- {
+		if FairnessError(t[i].Rates, weights) <= tol && EfficiencyError(t[i].Rates, capacity) <= tol {
+			last = i
+			continue
+		}
+		break
+	}
+	if last < 0 {
+		return 0, false
+	}
+	return t[last].Epoch, true
+}

@@ -1,0 +1,181 @@
+package analysis
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func TestFluidConvergesEqualWeights(t *testing.T) {
+	cfg := FluidConfig{
+		Capacity: 500,
+		Weights:  []float64{1, 1, 1, 1},
+		Initial:  []float64{400, 10, 50, 5},
+	}
+	traj, err := Run(cfg, 5000, 10)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	final := traj.Final()
+	if fe := FairnessError(final, cfg.Weights); fe > 0.10 {
+		t.Errorf("fairness error = %v, want <= 0.10", fe)
+	}
+	if ee := EfficiencyError(final, cfg.Capacity); ee > 0.10 {
+		t.Errorf("efficiency error = %v, want <= 0.10", ee)
+	}
+}
+
+func TestFluidConvergesWeighted(t *testing.T) {
+	// The paper's fig5 weight profile on the fluid model.
+	weights := []float64{1, 1, 2, 2, 3, 3, 4, 4, 5, 5}
+	initial := make([]float64, len(weights))
+	for i := range initial {
+		initial[i] = 32 // slow-start exit
+	}
+	cfg := FluidConfig{Capacity: 500, Weights: weights, Initial: initial}
+	traj, err := Run(cfg, 20000, 50)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	final := traj.Final()
+	// Normalized rates should approach 500/30 = 16.67.
+	for i, r := range final {
+		want := 500.0 / 30 * weights[i]
+		if math.Abs(r-want)/want > 0.15 {
+			t.Errorf("flow %d fluid rate = %v, want ~%v", i, r, want)
+		}
+	}
+	epoch, ok := ConvergenceEpoch(traj, weights, cfg.Capacity, 0.15)
+	if !ok {
+		t.Fatal("fluid model never converged")
+	}
+	if epoch <= 0 || epoch > 20000 {
+		t.Errorf("convergence epoch = %d", epoch)
+	}
+}
+
+func TestFluidRespectsMinimums(t *testing.T) {
+	cfg := FluidConfig{
+		Capacity: 500,
+		Weights:  []float64{1, 1},
+		Initial:  []float64{300, 300},
+		Minimums: []float64{250, 0},
+	}
+	traj, err := Run(cfg, 5000, 1)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	for _, s := range traj {
+		if s.Rates[0] < 250-1e-9 {
+			t.Fatalf("contracted flow dipped to %v at epoch %d", s.Rates[0], s.Epoch)
+		}
+	}
+	final := traj.Final()
+	// Flow 0 floor 250 + its share of the excess; flow 1 absorbs the rest.
+	if final[0] < 250 || final[0] > 340 {
+		t.Errorf("contracted fluid rate = %v", final[0])
+	}
+	if final[1] < 160 || final[1] > 260 {
+		t.Errorf("best-effort fluid rate = %v", final[1])
+	}
+}
+
+func TestFluidValidation(t *testing.T) {
+	bad := []FluidConfig{
+		{Capacity: 0, Weights: []float64{1}, Initial: []float64{1}},
+		{Capacity: 1, Weights: nil, Initial: nil},
+		{Capacity: 1, Weights: []float64{1}, Initial: []float64{1, 2}},
+		{Capacity: 1, Weights: []float64{-1}, Initial: []float64{1}},
+		{Capacity: 1, Weights: []float64{1}, Initial: []float64{-1}},
+		{Capacity: 1, Weights: []float64{1}, Initial: []float64{1}, Minimums: []float64{1, 2}},
+	}
+	for i, cfg := range bad {
+		if _, err := Run(cfg, 10, 1); err == nil {
+			t.Errorf("config %d accepted", i)
+		}
+	}
+	good := FluidConfig{Capacity: 1, Weights: []float64{1}, Initial: []float64{1}}
+	if _, err := Run(good, 0, 1); err == nil {
+		t.Error("zero epochs accepted")
+	}
+}
+
+// TestFluidConvergenceProperty: from any random start, the fluid dynamics
+// reach the fairness/efficiency intersection — the Chiu-Jain result the
+// paper's §2.2 invokes.
+func TestFluidConvergenceProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(8) + 2
+		weights := make([]float64, n)
+		initial := make([]float64, n)
+		for i := range weights {
+			weights[i] = float64(rng.Intn(5) + 1)
+			initial[i] = float64(rng.Intn(400))
+		}
+		cfg := FluidConfig{Capacity: 500, Weights: weights, Initial: initial}
+		traj, err := Run(cfg, 30000, 100)
+		if err != nil {
+			return false
+		}
+		final := traj.Final()
+		return FairnessError(final, weights) < 0.2 && EfficiencyError(final, 500) < 0.2
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestFluidMatchesPacketSimulation validates the packet-level simulator
+// against the analytical model: both must settle on the same weighted
+// max-min allocation for the Figure 5 weight profile (the paper's
+// "simulations and analysis" agreement).
+func TestFluidMatchesPacketSimulation(t *testing.T) {
+	weights := []float64{1, 1, 2, 2, 3, 3, 4, 4, 5, 5}
+	initial := make([]float64, len(weights))
+	for i := range initial {
+		initial[i] = 32
+	}
+	traj, err := Run(FluidConfig{Capacity: 500, Weights: weights, Initial: initial}, 20000, 100)
+	if err != nil {
+		t.Fatalf("fluid: %v", err)
+	}
+	fluid := traj.Final()
+
+	res, err := experiments.RunFig5(1)
+	if err != nil {
+		t.Fatalf("packet sim: %v", err)
+	}
+	for i := 1; i <= 10; i++ {
+		sim := res.Flow(i).AllowedRate.MeanOver(60*time.Second, 80*time.Second)
+		fl := fluid[i-1]
+		if fl <= 0 {
+			t.Fatalf("fluid rate %d is 0", i)
+		}
+		if math.Abs(sim-fl)/fl > 0.25 {
+			t.Errorf("flow %d: packet sim %v vs fluid %v differ by > 25%%", i, sim, fl)
+		}
+	}
+}
+
+func TestFairnessAndEfficiencyErrorEdgeCases(t *testing.T) {
+	if !math.IsInf(FairnessError(nil, nil), 1) {
+		t.Error("FairnessError(nil) should be +Inf")
+	}
+	if !math.IsInf(FairnessError([]float64{0, 0}, []float64{1, 1}), 1) {
+		t.Error("FairnessError of all-zero rates should be +Inf")
+	}
+	if got := FairnessError([]float64{10, 20}, []float64{1, 2}); got != 0 {
+		t.Errorf("perfectly weighted-fair error = %v, want 0", got)
+	}
+	if !math.IsInf(EfficiencyError([]float64{1}, 0), 1) {
+		t.Error("EfficiencyError with zero capacity should be +Inf")
+	}
+	if got := EfficiencyError([]float64{250, 250}, 500); got != 0 {
+		t.Errorf("exact efficiency error = %v, want 0", got)
+	}
+}

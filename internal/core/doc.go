@@ -1,0 +1,24 @@
+// Package core implements the Corelite QoS architecture — the paper's
+// primary contribution: per-flow weighted rate fairness in a core-stateless
+// network.
+//
+// Three mechanisms cooperate (paper §2.2):
+//
+//  1. Shaping and marking at the edge router (Edge): every flow is shaped
+//     to its allowed rate b_g(f), and every N_w = K1·w(f)-th data packet
+//     carries a marker labelled with the flow's normalized rate
+//     r_n = b_g/w, so the marker rate reflects the normalized rate.
+//
+//  2. Weighted fair marker feedback at the core router (Router): each core
+//     link detects incipient congestion from its time-averaged queue length
+//     once per epoch and bounces F_n markers back to the edges that
+//     generated them — either uniformly from a marker cache (§2.2) or with
+//     the cache-less selective scheme of §3.2 that only throttles flows
+//     whose labelled normalized rate is at or above the running average.
+//     The core router keeps no per-flow state in either variant.
+//
+//  3. Rate adaptation at the edge (package adapt): m(f) feedbacks in an
+//     epoch (max over core routers) shrink b_g by β·m(f); silence grows it
+//     by α. Because m(f) ∝ b_g/w, the loop converges to weighted max-min
+//     fairness.
+package core

@@ -1,0 +1,84 @@
+package experiments
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+// TestCrossTrafficSqueezesAdaptiveFlows checks the sensitivity claim of
+// §2.2/§3.1: with unresponsive bursty traffic consuming part of the
+// bottleneck, Corelite's marker feedback squeezes the adaptive flows into
+// the remaining capacity while preserving their weighted fairness.
+func TestCrossTrafficSqueezesAdaptiveFlows(t *testing.T) {
+	sc := Scenario{
+		Name:     "cross",
+		Scheme:   SchemeCorelite,
+		Duration: 120 * time.Second,
+		Seed:     1,
+		NumFlows: 2,
+		Weights:  map[int]float64{1: 1, 2: 2},
+		Dumbbell: true,
+		Cross: []CrossTraffic{
+			{Link: "A->B", Rate: 200, MeanOn: 500 * time.Millisecond, MeanOff: 500 * time.Millisecond},
+		},
+	}
+	res, err := Run(sc)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	// Oracle: capacity 500 - mean cross 100 = 400, split 1:2.
+	if math.Abs(res.ExpectedFullSet[1]-400.0/3) > 1e-6 {
+		t.Fatalf("oracle expected[1] = %v, want 133.3", res.ExpectedFullSet[1])
+	}
+	r1 := res.Flow(1).AllowedRate.MeanOver(80*time.Second, 120*time.Second)
+	r2 := res.Flow(2).AllowedRate.MeanOver(80*time.Second, 120*time.Second)
+	total := r1 + r2
+	if total < 330 || total > 470 {
+		t.Errorf("adaptive aggregate = %v, want ~400 (squeezed around cross traffic)", total)
+	}
+	ratio := (r2 / 2) / r1
+	if ratio < 0.7 || ratio > 1.45 {
+		t.Errorf("weighted fairness under bursty cross traffic: ratio %.2f (r1=%v r2=%v)", ratio, r1, r2)
+	}
+}
+
+func TestCrossTrafficValidation(t *testing.T) {
+	base := Scenario{
+		Scheme:   SchemeCorelite,
+		Duration: time.Second,
+		NumFlows: 1,
+		Dumbbell: true,
+	}
+	bad := base
+	bad.Cross = []CrossTraffic{{Link: "", Rate: 100}}
+	if _, err := Run(bad); err == nil {
+		t.Error("cross stream without link accepted")
+	}
+	bad = base
+	bad.Cross = []CrossTraffic{{Link: "A->B", Rate: 0}}
+	if _, err := Run(bad); err == nil {
+		t.Error("cross stream with zero rate accepted")
+	}
+	bad = base
+	bad.Cross = []CrossTraffic{{Link: "no-such-link", Rate: 100}}
+	if _, err := Run(bad); err == nil {
+		t.Error("cross stream on unknown link accepted")
+	}
+}
+
+func TestCrossTrafficMeanRate(t *testing.T) {
+	tests := []struct {
+		ct   CrossTraffic
+		want float64
+	}{
+		{CrossTraffic{Rate: 200, MeanOn: time.Second, MeanOff: time.Second}, 100},
+		{CrossTraffic{Rate: 200}, 200}, // no off phase = constant
+		{CrossTraffic{Rate: 300, MeanOn: time.Second, MeanOff: 2 * time.Second}, 100},
+	}
+	for _, tt := range tests {
+		if got := tt.ct.MeanRate(); math.Abs(got-tt.want) > 1e-9 {
+			t.Errorf("MeanRate(%+v) = %v, want %v", tt.ct, got, tt.want)
+		}
+	}
+}

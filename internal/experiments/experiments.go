@@ -1,0 +1,635 @@
+// Package experiments assembles complete simulation scenarios — topology,
+// scheme (Corelite or weighted CSFQ), workload schedule, measurement — and
+// provides one runner per figure of the paper's evaluation (§4).
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/csfq"
+	"repro/internal/host"
+	"repro/internal/maxmin"
+	"repro/internal/metrics"
+	"repro/internal/netem"
+	"repro/internal/packet"
+	"repro/internal/sim"
+	"repro/internal/topology"
+	"repro/internal/topospec"
+	"repro/internal/workload"
+)
+
+// Scheme selects the QoS architecture under test.
+type Scheme int
+
+// Schemes.
+const (
+	// SchemeCorelite runs the paper's architecture.
+	SchemeCorelite Scheme = iota + 1
+	// SchemeCSFQ runs the weighted CSFQ baseline.
+	SchemeCSFQ
+)
+
+// String implements fmt.Stringer.
+func (s Scheme) String() string {
+	switch s {
+	case SchemeCorelite:
+		return "corelite"
+	case SchemeCSFQ:
+		return "csfq"
+	default:
+		return fmt.Sprintf("Scheme(%d)", int(s))
+	}
+}
+
+// Scenario describes one experiment.
+type Scenario struct {
+	// Name labels the scenario in output.
+	Name string
+	// Scheme selects Corelite or CSFQ.
+	Scheme Scheme
+	// Duration is the simulated time horizon.
+	Duration time.Duration
+	// Seed drives all randomness; identical seeds give identical traces.
+	Seed int64
+
+	// NumFlows selects how many of the paper-topology flow slots to use
+	// (1–20).
+	NumFlows int
+	// Weights maps flow index (1-based) to rate weight.
+	Weights map[int]float64
+	// DefaultWeight applies to flows absent from Weights (0 → 1).
+	DefaultWeight float64
+	// Schedules maps flow index to its activity schedule; missing flows
+	// are active for the whole run.
+	Schedules map[int]workload.Schedule
+	// MinRates maps flow index to a minimum rate contract in
+	// packets/second (Corelite only): the edge never throttles the flow
+	// below its contract and markers reflect only the excess rate.
+	MinRates map[int]float64
+	// Transports selects, per flow index, how packets are produced:
+	// the default backlogged shaped source, or a TCP-Reno-like end-host
+	// sender policed by the edge's per-flow shaper (Corelite only — the
+	// paper's "agents like TCP" ongoing-work scenario).
+	Transports map[int]Transport
+	// TCP tunes the TCP transport (zero fields default).
+	TCP host.TCPConfig
+	// Cross adds unresponsive on/off background streams to core links —
+	// the bursty, non-adaptive traffic the paper's sensitivity discussion
+	// worries about (§2.2, §3.1). The oracle subtracts each stream's mean
+	// rate from its link's capacity when computing expected rates.
+	Cross []CrossTraffic
+
+	// SampleWindow is the measurement bin for the output series (0 → 1s,
+	// the paper's plotting granularity).
+	SampleWindow time.Duration
+
+	// EdgeConfig / RouterConfig configure Corelite (zero values → paper
+	// defaults).
+	EdgeConfig   core.EdgeConfig
+	RouterConfig core.RouterConfig
+	// CSFQEdgeConfig / CSFQRouterConfig configure the baseline.
+	CSFQEdgeConfig   csfq.EdgeConfig
+	CSFQRouterConfig csfq.RouterConfig
+
+	// TopologyOptions tweaks link rate/delay and the core queue
+	// discipline; NumFlows/Weights/DefaultWeight above take precedence
+	// over the corresponding fields.
+	TopologyOptions topology.Options
+
+	// Dumbbell, when true, uses the single-bottleneck topology instead of
+	// the paper's Figure 2 chain.
+	Dumbbell bool
+
+	// Spec, when non-nil, builds a custom cloud from a parsed topology
+	// description instead of the built-in topologies; NumFlows, Weights
+	// and per-flow contracts are taken from the spec.
+	Spec *topospec.Spec
+
+	// Tracer, when non-nil, receives every packet-level event
+	// (enqueue/dequeue/receive/drop) in ns-2-like form.
+	Tracer netem.Tracer
+}
+
+// Transport selects a flow's packet producer.
+type Transport int
+
+// Transports.
+const (
+	// TransportBacklogged is the paper's always-backlogged shaped source
+	// (the default).
+	TransportBacklogged Transport = iota
+	// TransportTCP runs a TCP-Reno-like end host through the edge's
+	// per-flow shaper.
+	TransportTCP
+)
+
+// CrossTraffic describes one unresponsive on/off background stream
+// crossing a single core link.
+type CrossTraffic struct {
+	// Link names the core link ("C1->C2", ..., or "A->B" on the
+	// dumbbell).
+	Link string
+	// Rate is the ON-phase emission rate in packets/second.
+	Rate float64
+	// MeanOn / MeanOff are the exponential phase means; MeanOff = 0
+	// yields constant-rate cross traffic.
+	MeanOn  time.Duration
+	MeanOff time.Duration
+}
+
+// MeanRate reports the stream's long-run average rate.
+func (c CrossTraffic) MeanRate() float64 {
+	total := c.MeanOn + c.MeanOff
+	if total <= 0 {
+		return c.Rate
+	}
+	return c.Rate * float64(c.MeanOn) / float64(total)
+}
+
+// FlowResult carries everything measured for one flow.
+type FlowResult struct {
+	// Index is the paper flow number (1-based).
+	Index int
+	// ID is the network flow id.
+	ID packet.FlowID
+	// Weight is the flow's rate weight.
+	Weight float64
+	// AllowedRate samples the edge's allowed rate b_g(f) once per window
+	// (the quantity the paper's "alloted rate" figures plot).
+	AllowedRate metrics.Series
+	// ReceiveRate is the egress goodput per window.
+	ReceiveRate metrics.Series
+	// Cumulative is the egress cumulative packet count (Figure 4's
+	// "cumulative service").
+	Cumulative metrics.Series
+	// Delivered and Losses are run totals.
+	Delivered int64
+	Losses    int64
+}
+
+// Result is a completed run.
+type Result struct {
+	// Name echoes the scenario name, Scheme the architecture.
+	Name   string
+	Scheme Scheme
+	// Flows holds per-flow measurements in index order.
+	Flows []FlowResult
+	// TotalLosses sums packet losses over all flows.
+	TotalLosses int64
+	// ExpectedFullSet is the weighted max-min oracle with every flow
+	// active.
+	ExpectedFullSet map[int]float64
+	// Events is the number of simulation events processed.
+	Events uint64
+	// SampleWindow echoes the measurement bin.
+	SampleWindow time.Duration
+	// Duration echoes the simulated horizon.
+	Duration time.Duration
+}
+
+// Flow returns the result for a flow index, or nil.
+func (r *Result) Flow(index int) *FlowResult {
+	for i := range r.Flows {
+		if r.Flows[i].Index == index {
+			return &r.Flows[i]
+		}
+	}
+	return nil
+}
+
+// JainIndexAt computes Jain's fairness index over the normalized allowed
+// rates of the flows active at time t.
+func (r *Result) JainIndexAt(t time.Duration, sc Scenario) float64 {
+	var norm []float64
+	for _, f := range r.Flows {
+		if !scheduleOf(sc, f.Index).ActiveAt(t, sc.Duration) {
+			continue
+		}
+		if v, ok := f.AllowedRate.ValueAt(t); ok && f.Weight > 0 {
+			norm = append(norm, v/f.Weight)
+		}
+	}
+	return metrics.JainIndex(norm)
+}
+
+// scheduleOf resolves a flow's schedule (default: always active).
+func scheduleOf(sc Scenario, index int) workload.Schedule {
+	if s, ok := sc.Schedules[index]; ok {
+		return s
+	}
+	return workload.Always()
+}
+
+// edgeAgent abstracts the per-scheme edge router so the harness can drive
+// either uniformly.
+type edgeAgent interface {
+	AddFlow(dst string, weight float64) (int, error)
+	StartFlow(local int) error
+	StopFlow(local int) error
+	AllowedRate(local int) (float64, error)
+	FlowID(local int) (packet.FlowID, error)
+	Start()
+	Stop()
+}
+
+var (
+	_ edgeAgent = (*core.Edge)(nil)
+	_ edgeAgent = (*csfq.Edge)(nil)
+)
+
+// buildCloud constructs the scenario's topology.
+func buildCloud(sc Scenario, sched *sim.Scheduler) (*topology.Cloud, error) {
+	if sc.Spec != nil {
+		return sc.Spec.Build(sched)
+	}
+	opts := sc.TopologyOptions
+	opts.NumFlows = sc.NumFlows
+	opts.Weights = sc.Weights
+	opts.DefaultWeight = sc.DefaultWeight
+	if sc.Dumbbell {
+		return topology.Dumbbell(sched, sc.NumFlows, sc.Weights, opts)
+	}
+	return topology.Paper(sched, opts)
+}
+
+// normalize folds a custom spec's flow set into the scenario fields so the
+// rest of the harness (schedules, contracts, oracle) sees one consistent
+// description.
+func (sc Scenario) normalize() Scenario {
+	if sc.Spec == nil {
+		return sc
+	}
+	sc.NumFlows = len(sc.Spec.Flows)
+	sc.Weights = sc.Spec.Weights()
+	mins := sc.Spec.MinRates()
+	for idx, m := range sc.MinRates {
+		mins[idx] = m
+	}
+	if len(mins) > 0 {
+		sc.MinRates = mins
+	}
+	return sc
+}
+
+// Validate checks scenario consistency.
+func (sc Scenario) Validate() error {
+	if sc.Scheme != SchemeCorelite && sc.Scheme != SchemeCSFQ {
+		return fmt.Errorf("experiments: unknown scheme %d", int(sc.Scheme))
+	}
+	if sc.Duration <= 0 {
+		return fmt.Errorf("experiments: non-positive duration %v", sc.Duration)
+	}
+	if sc.NumFlows <= 0 && sc.Spec == nil {
+		return fmt.Errorf("experiments: non-positive NumFlows %d", sc.NumFlows)
+	}
+	if len(sc.MinRates) > 0 && sc.Scheme != SchemeCorelite {
+		return fmt.Errorf("experiments: minimum rate contracts require the Corelite scheme")
+	}
+	for i, ct := range sc.Cross {
+		if ct.Link == "" || ct.Rate <= 0 {
+			return fmt.Errorf("experiments: cross stream %d needs a link and positive rate", i)
+		}
+	}
+	for idx, m := range sc.MinRates {
+		if m < 0 {
+			return fmt.Errorf("experiments: flow %d has negative minimum rate %v", idx, m)
+		}
+	}
+	for idx, tr := range sc.Transports {
+		if tr == TransportTCP && sc.Scheme != SchemeCorelite {
+			return fmt.Errorf("experiments: flow %d: TCP transport requires the Corelite scheme", idx)
+		}
+	}
+	return nil
+}
+
+// Run executes the scenario to completion and returns its measurements.
+func Run(sc Scenario) (*Result, error) {
+	sc = sc.normalize()
+	if err := sc.Validate(); err != nil {
+		return nil, err
+	}
+	if sc.SampleWindow <= 0 {
+		sc.SampleWindow = time.Second
+	}
+	sched := sim.NewScheduler()
+	rng := sim.NewRNG(sc.Seed)
+	cloud, err := buildCloud(sc, sched)
+	if err != nil {
+		return nil, fmt.Errorf("build topology: %w", err)
+	}
+	net := cloud.Net
+	if sc.Tracer != nil {
+		net.SetTracer(sc.Tracer)
+	}
+
+	rec := metrics.NewFlowRecorder(sc.SampleWindow)
+
+	// Per-flow bookkeeping.
+	type flowRef struct {
+		placement topology.Placement
+		agent     edgeAgent
+		local     int
+		id        packet.FlowID
+		allowed   metrics.Series
+		tcp       *host.Sender
+	}
+	refs := make([]*flowRef, 0, len(cloud.Placements))
+	edgesByName := make(map[string]edgeAgent, len(cloud.Placements))
+	coreliteEdges := make(map[string]*core.Edge)
+	csfqEdges := make(map[string]*csfq.Edge)
+
+	for _, pl := range cloud.Placements {
+		node := net.Node(pl.Ingress)
+		var agent edgeAgent
+		var local int
+		var tcpSender *host.Sender
+		switch sc.Scheme {
+		case SchemeCorelite:
+			e := core.NewEdge(net, node, sc.EdgeConfig)
+			coreliteEdges[pl.Ingress] = e
+			agent = e
+			if sc.Transports[pl.Index] == TransportTCP {
+				local, err = e.AddShapedFlow(pl.Weight, sc.MinRates[pl.Index], 0)
+				if err != nil {
+					break
+				}
+				tcpSender, err = wireTCP(sc, net, e, local, pl, rec)
+			} else {
+				local, err = e.AddFlowContract(pl.Egress, pl.Weight, sc.MinRates[pl.Index])
+			}
+		case SchemeCSFQ:
+			e := csfq.NewEdge(net, node, sc.CSFQEdgeConfig)
+			csfqEdges[pl.Ingress] = e
+			agent = e
+			local, err = agent.AddFlow(pl.Egress, pl.Weight)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("flow %d: %w", pl.Index, err)
+		}
+		id, err := agent.FlowID(local)
+		if err != nil {
+			return nil, err
+		}
+		edgesByName[pl.Ingress] = agent
+		refs = append(refs, &flowRef{placement: pl, agent: agent, local: local, id: id, tcp: tcpSender})
+		if tcpSender == nil {
+			net.Node(pl.Egress).SetApp(deliverApp(func(p *packet.Packet) {
+				rec.Deliver(p.Flow, net.Now())
+			}))
+		}
+		agent.Start()
+	}
+
+	coreNodes := cloud.CoreNodes
+
+	// Core routers.
+	switch sc.Scheme {
+	case SchemeCorelite:
+		feedbackFor := func(routerNode string) core.FeedbackFunc {
+			return func(m packet.Marker, coreID string) {
+				e, ok := coreliteEdges[m.Flow.Edge]
+				if !ok {
+					return
+				}
+				local := m.Flow.Local
+				// Control-plane delivery with the reverse-path latency.
+				_ = net.SendControl(routerNode, m.Flow.Edge, func() {
+					e.HandleFeedback(local, coreID)
+				})
+			}
+		}
+		for _, name := range coreNodes {
+			r := core.NewRouter(net, net.Node(name), sc.RouterConfig, rng.Stream("router-"+name), feedbackFor(name))
+			r.Start()
+		}
+		// Corelite drops (should not happen in the loss-free scenarios)
+		// are still recorded.
+		net.OnDrop(func(d netem.Drop) { rec.Lose(d.Packet.Flow) })
+	case SchemeCSFQ:
+		for _, name := range coreNodes {
+			csfq.NewRouter(net, net.Node(name), sc.CSFQRouterConfig, rng.Stream("router-"+name))
+		}
+		net.OnDrop(func(d netem.Drop) {
+			rec.Lose(d.Packet.Flow)
+			e, ok := csfqEdges[d.Packet.Flow.Edge]
+			if !ok {
+				return
+			}
+			local := d.Packet.Flow.Local
+			_ = net.SendControl(d.Node, d.Packet.Flow.Edge, func() { e.HandleLoss(local) })
+		})
+	}
+
+	// Unresponsive cross traffic.
+	for i, ct := range sc.Cross {
+		link, ok := cloud.CoreLinks[ct.Link]
+		if !ok {
+			return nil, fmt.Errorf("cross stream %d: unknown link %q", i, ct.Link)
+		}
+		from := link.From()
+		oo := workload.NewOnOff(sched, rng.Stream(fmt.Sprintf("cross-%d", i)), workload.OnOffConfig{
+			Flow:    packet.FlowID{Edge: "cross", Local: i},
+			Dst:     link.To().Name(),
+			Rate:    ct.Rate,
+			MeanOn:  ct.MeanOn,
+			MeanOff: ct.MeanOff,
+			Inject:  from.Inject,
+		})
+		oo.Start()
+	}
+
+	// Flow activity schedule.
+	for _, ref := range refs {
+		ref := ref
+		for _, iv := range scheduleOf(sc, ref.placement.Index) {
+			stop := iv.Stop
+			if stop == 0 || stop > sc.Duration {
+				stop = sc.Duration
+			}
+			if iv.Start >= stop {
+				continue
+			}
+			sched.MustAt(iv.Start, func() {
+				_ = ref.agent.StartFlow(ref.local)
+				if ref.tcp != nil {
+					ref.tcp.Start()
+				}
+			})
+			if stop < sc.Duration {
+				sched.MustAt(stop, func() {
+					_ = ref.agent.StopFlow(ref.local)
+					if ref.tcp != nil {
+						ref.tcp.Stop()
+					}
+				})
+			}
+		}
+	}
+
+	// Measurement: flush windows and sample allowed rates.
+	var sampler func()
+	sampler = func() {
+		now := net.Now()
+		rec.Flush(now)
+		for _, ref := range refs {
+			rate, err := ref.agent.AllowedRate(ref.local)
+			if err != nil {
+				rate = 0
+			}
+			ref.allowed = append(ref.allowed, metrics.Sample{At: now, Value: rate})
+		}
+		if now < sc.Duration {
+			sched.MustAfter(sc.SampleWindow, sampler)
+		}
+	}
+	sched.MustAt(sc.SampleWindow, sampler)
+
+	if err := sched.Run(sc.Duration); err != nil {
+		return nil, fmt.Errorf("run scenario %q: %w", sc.Name, err)
+	}
+
+	expected, err := expectedRates(sc, cloud, nil)
+	if err != nil {
+		return nil, fmt.Errorf("expected rates: %w", err)
+	}
+	res := &Result{
+		Name:            sc.Name,
+		Scheme:          sc.Scheme,
+		ExpectedFullSet: expected,
+		Events:          sched.Processed(),
+		SampleWindow:    sc.SampleWindow,
+		Duration:        sc.Duration,
+	}
+	for _, ref := range refs {
+		fr := FlowResult{
+			Index:       ref.placement.Index,
+			ID:          ref.id,
+			Weight:      ref.placement.Weight,
+			AllowedRate: ref.allowed,
+			ReceiveRate: rec.Rate(ref.id),
+			Cumulative:  rec.Cumulative(ref.id),
+			Delivered:   rec.Total(ref.id),
+			Losses:      rec.Losses(ref.id),
+		}
+		res.TotalLosses += fr.Losses
+		res.Flows = append(res.Flows, fr)
+	}
+	return res, nil
+}
+
+// ExpectedRatesAt solves the max-min oracle for the flows active at time t
+// under the scenario's schedule (the paper's per-phase expected values).
+func ExpectedRatesAt(sc Scenario, t time.Duration) (map[int]float64, error) {
+	sc = sc.normalize()
+	sched := sim.NewScheduler()
+	cloud, err := buildCloud(sc, sched)
+	if err != nil {
+		return nil, err
+	}
+	active := make(map[int]bool, len(cloud.Placements))
+	any := false
+	for _, pl := range cloud.Placements {
+		if scheduleOf(sc, pl.Index).ActiveAt(t, sc.Duration) {
+			active[pl.Index] = true
+			any = true
+		}
+	}
+	if !any {
+		return map[int]float64{}, nil
+	}
+	return expectedRates(sc, cloud, active)
+}
+
+// expectedRates runs the weighted max-min oracle for the scenario,
+// accounting for minimum rate contracts and the mean load of unresponsive
+// cross traffic.
+func expectedRates(sc Scenario, cloud *topology.Cloud, active map[int]bool) (map[int]float64, error) {
+	if len(sc.Cross) == 0 {
+		return cloud.ExpectedRatesWithMinimums(active, sc.MinRates)
+	}
+	p := cloud.MaxMinProblem(active)
+	for _, ct := range sc.Cross {
+		if _, ok := p.Capacity[ct.Link]; !ok {
+			return nil, fmt.Errorf("experiments: cross stream names unknown link %q", ct.Link)
+		}
+		p.Capacity[ct.Link] -= ct.MeanRate()
+		if p.Capacity[ct.Link] < 0 {
+			p.Capacity[ct.Link] = 0
+		}
+	}
+	mins := make(map[string]float64, len(sc.MinRates))
+	for idx, m := range sc.MinRates {
+		if active != nil && !active[idx] {
+			continue
+		}
+		mins[fmt.Sprintf("%d", idx)] = m
+	}
+	alloc, err := maxmin.SolveWithMinimums(p, mins)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[int]float64, len(alloc))
+	for idx := range activeOrAll(sc, active) {
+		out[idx] = alloc[fmt.Sprintf("%d", idx)]
+	}
+	return out, nil
+}
+
+// activeOrAll yields the set of flow indices the oracle covers.
+func activeOrAll(sc Scenario, active map[int]bool) map[int]bool {
+	if active != nil {
+		return active
+	}
+	all := make(map[int]bool, sc.NumFlows)
+	for i := 1; i <= sc.NumFlows; i++ {
+		all[i] = true
+	}
+	return all
+}
+
+// wireTCP connects a TCP-Reno-like sender and receiver around a Corelite
+// shaped flow: segments are offered to the edge's shaper, data is recorded
+// at the egress, and cumulative ACKs ride the real reverse path back to
+// the ingress node.
+func wireTCP(sc Scenario, net *netem.Network, e *core.Edge, local int, pl topology.Placement, rec *metrics.FlowRecorder) (*host.Sender, error) {
+	id, err := e.FlowID(local)
+	if err != nil {
+		return nil, err
+	}
+	sender, err := host.NewSender(net.Scheduler(), host.SenderConfig{
+		Flow: id,
+		Dst:  pl.Egress,
+		TCP:  sc.TCP,
+		Transmit: func(p *packet.Packet) bool {
+			ok, offerErr := e.Offer(local, p)
+			return offerErr == nil && ok
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	recv := host.NewReceiver(net.Scheduler(), pl.Ingress, func(ack *packet.Packet) {
+		net.Node(pl.Egress).Inject(ack)
+	})
+	net.Node(pl.Egress).SetApp(deliverApp(func(p *packet.Packet) {
+		if p.Kind == packet.KindData {
+			rec.Deliver(p.Flow, net.Now())
+		}
+		recv.Deliver(p)
+	}))
+	net.Node(pl.Ingress).SetApp(deliverApp(func(p *packet.Packet) {
+		if p.Kind == packet.KindAck {
+			sender.OnAck(p.Seq)
+		}
+	}))
+	return sender, nil
+}
+
+// deliverApp adapts a closure to netem.App.
+type deliverApp func(*packet.Packet)
+
+// Receive implements netem.App.
+func (f deliverApp) Receive(p *packet.Packet) { f(p) }

@@ -1,0 +1,173 @@
+package experiments
+
+import (
+	"time"
+
+	"repro/internal/topology"
+	"repro/internal/workload"
+)
+
+// DefaultSeed is the seed used by the figure runners; pass your own via the
+// Scenario constructors to study seed sensitivity.
+const DefaultSeed = 1
+
+// Fig3Scenario returns the §4.1 dynamics scenario (Corelite): 20 flows on
+// the Figure 2 topology, weights per WeightsFig3; flows 1, 9, 10, 11 and 16
+// are active only during t ∈ [250s, 500s); all other flows run t ∈ [0,
+// 750s); the simulation lasts 800s. Figure 3 plots the per-flow
+// instantaneous ("alloted") rate, Figure 4 the cumulative service.
+func Fig3Scenario(seed int64) Scenario {
+	schedules := make(map[int]workload.Schedule, 20)
+	late := map[int]bool{1: true, 9: true, 10: true, 11: true, 16: true}
+	for i := 1; i <= 20; i++ {
+		if late[i] {
+			schedules[i] = workload.Window(250*time.Second, 500*time.Second)
+		} else {
+			schedules[i] = workload.Window(0, 750*time.Second)
+		}
+	}
+	return Scenario{
+		Name:          "fig3-corelite-dynamics",
+		Scheme:        SchemeCorelite,
+		Duration:      800 * time.Second,
+		Seed:          seed,
+		NumFlows:      20,
+		Weights:       topology.WeightsFig3(),
+		DefaultWeight: 2,
+		Schedules:     schedules,
+	}
+}
+
+// RunFig3 regenerates Figure 3 (instantaneous rate under network
+// dynamics). The same Result also carries Figure 4's cumulative service.
+func RunFig3(seed int64) (*Result, error) { return Run(Fig3Scenario(seed)) }
+
+// RunFig4 regenerates Figure 4 (cumulative service). It is the same
+// simulation as Figure 3; the cumulative series is in
+// FlowResult.Cumulative.
+func RunFig4(seed int64) (*Result, error) {
+	sc := Fig3Scenario(seed)
+	sc.Name = "fig4-corelite-cumulative"
+	return Run(sc)
+}
+
+// startupScenario is the §4.2 startup-convergence setup: topology 1 with
+// 10 flows, weight ⌈i/2⌉, all starting at t=0, 80s horizon.
+func startupScenario(scheme Scheme, name string, seed int64) Scenario {
+	return Scenario{
+		Name:          name,
+		Scheme:        scheme,
+		Duration:      80 * time.Second,
+		Seed:          seed,
+		NumFlows:      10,
+		Weights:       topology.WeightsCeilHalf(10),
+		DefaultWeight: 1,
+	}
+}
+
+// Fig5Scenario returns the Corelite startup scenario of §4.2.
+func Fig5Scenario(seed int64) Scenario {
+	return startupScenario(SchemeCorelite, "fig5-corelite-startup", seed)
+}
+
+// Fig6Scenario returns the CSFQ startup scenario of §4.2.
+func Fig6Scenario(seed int64) Scenario {
+	return startupScenario(SchemeCSFQ, "fig6-csfq-startup", seed)
+}
+
+// RunFig5 regenerates Figure 5 (Corelite startup convergence).
+func RunFig5(seed int64) (*Result, error) { return Run(Fig5Scenario(seed)) }
+
+// RunFig6 regenerates Figure 6 (CSFQ startup convergence).
+func RunFig6(seed int64) (*Result, error) { return Run(Fig6Scenario(seed)) }
+
+// staggeredScenario is the §4.3 rapid-succession setup: 20 flows starting
+// one second apart in ascending order; weights per WeightsFig7.
+func staggeredScenario(scheme Scheme, name string, seed int64) Scenario {
+	schedules := make(map[int]workload.Schedule, 20)
+	for i := 1; i <= 20; i++ {
+		schedules[i] = workload.Schedule{{Start: time.Duration(i-1) * time.Second}}
+	}
+	return Scenario{
+		Name:          name,
+		Scheme:        scheme,
+		Duration:      80 * time.Second,
+		Seed:          seed,
+		NumFlows:      20,
+		Weights:       topology.WeightsFig7(),
+		DefaultWeight: 2,
+		Schedules:     schedules,
+	}
+}
+
+// Fig7Scenario returns the Corelite staggered-start scenario.
+func Fig7Scenario(seed int64) Scenario {
+	return staggeredScenario(SchemeCorelite, "fig7-corelite-staggered", seed)
+}
+
+// Fig8Scenario returns the CSFQ staggered-start scenario.
+func Fig8Scenario(seed int64) Scenario {
+	return staggeredScenario(SchemeCSFQ, "fig8-csfq-staggered", seed)
+}
+
+// RunFig7 regenerates Figure 7 (Corelite, flows entering 1s apart).
+func RunFig7(seed int64) (*Result, error) { return Run(Fig7Scenario(seed)) }
+
+// RunFig8 regenerates Figure 8 (CSFQ, flows entering 1s apart).
+func RunFig8(seed int64) (*Result, error) { return Run(Fig8Scenario(seed)) }
+
+// churnScenario is the §4.3 churn setup: flows 1–20 start 1s apart, live
+// 60s, stop 1s apart in the same order, and restart 5s after stopping;
+// 160s horizon. Flows are therefore simultaneously entering and leaving
+// between t = 65s and 80s.
+func churnScenario(scheme Scheme, name string, seed int64) Scenario {
+	schedules := make(map[int]workload.Schedule, 20)
+	for i := 1; i <= 20; i++ {
+		start := time.Duration(i-1) * time.Second
+		stop := start + 60*time.Second
+		restart := stop + 5*time.Second
+		schedules[i] = workload.Schedule{
+			{Start: start, Stop: stop},
+			{Start: restart},
+		}
+	}
+	return Scenario{
+		Name:          name,
+		Scheme:        scheme,
+		Duration:      160 * time.Second,
+		Seed:          seed,
+		NumFlows:      20,
+		Weights:       topology.WeightsFig7(),
+		DefaultWeight: 2,
+		Schedules:     schedules,
+	}
+}
+
+// Fig9Scenario returns the Corelite churn scenario.
+func Fig9Scenario(seed int64) Scenario {
+	return churnScenario(SchemeCorelite, "fig9-corelite-churn", seed)
+}
+
+// Fig10Scenario returns the CSFQ churn scenario.
+func Fig10Scenario(seed int64) Scenario {
+	return churnScenario(SchemeCSFQ, "fig10-csfq-churn", seed)
+}
+
+// RunFig9 regenerates Figure 9 (Corelite under churn).
+func RunFig9(seed int64) (*Result, error) { return Run(Fig9Scenario(seed)) }
+
+// RunFig10 regenerates Figure 10 (CSFQ under churn).
+func RunFig10(seed int64) (*Result, error) { return Run(Fig10Scenario(seed)) }
+
+// AllFigures enumerates the figure scenarios in order.
+func AllFigures(seed int64) []Scenario {
+	return []Scenario{
+		Fig3Scenario(seed),
+		Fig5Scenario(seed),
+		Fig6Scenario(seed),
+		Fig7Scenario(seed),
+		Fig8Scenario(seed),
+		Fig9Scenario(seed),
+		Fig10Scenario(seed),
+	}
+}

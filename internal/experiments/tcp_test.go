@@ -1,0 +1,89 @@
+package experiments
+
+import (
+	"testing"
+	"time"
+)
+
+// TestTCPTransportScenario drives two TCP end hosts through Corelite edge
+// shapers with weights 1:2 via the scenario harness — the paper's §4.4
+// "agents like TCP" ongoing work.
+func TestTCPTransportScenario(t *testing.T) {
+	sc := Scenario{
+		Name:     "tcp-flows",
+		Scheme:   SchemeCorelite,
+		Duration: 90 * time.Second,
+		Seed:     1,
+		NumFlows: 2,
+		Weights:  map[int]float64{1: 1, 2: 2},
+		Dumbbell: true,
+		Transports: map[int]Transport{
+			1: TransportTCP,
+			2: TransportTCP,
+		},
+	}
+	res, err := Run(sc)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	// Goodput at the egress over the last third of the run.
+	g1 := res.Flow(1).ReceiveRate.MeanOver(60*time.Second, 90*time.Second)
+	g2 := res.Flow(2).ReceiveRate.MeanOver(60*time.Second, 90*time.Second)
+	total := g1 + g2
+	if total < 350 {
+		t.Errorf("TCP aggregate goodput = %v pkt/s, want near 500", total)
+	}
+	ratio := (g2 / 2) / g1
+	if ratio < 0.6 || ratio > 1.7 {
+		t.Errorf("weighted split for TCP flows: g1=%v g2=%v ratio %.2f", g1, g2, ratio)
+	}
+	// The edge's allowed-rate series must still track the weighted shares
+	// (the shaper enforces them regardless of what TCP offers).
+	a1 := res.Flow(1).AllowedRate.Final()
+	a2 := res.Flow(2).AllowedRate.Final()
+	if a1 <= 0 || a2 <= 0 {
+		t.Fatalf("allowed rates not tracked: %v %v", a1, a2)
+	}
+}
+
+// TestTCPMixedWithBacklogged runs one TCP flow against one backlogged
+// shaped flow: the shapers must still split the link by weight.
+func TestTCPMixedWithBacklogged(t *testing.T) {
+	sc := Scenario{
+		Name:     "tcp-mixed",
+		Scheme:   SchemeCorelite,
+		Duration: 90 * time.Second,
+		Seed:     2,
+		NumFlows: 2,
+		Weights:  map[int]float64{1: 1, 2: 1},
+		Dumbbell: true,
+		Transports: map[int]Transport{
+			1: TransportTCP,
+		},
+	}
+	res, err := Run(sc)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	g1 := res.Flow(1).ReceiveRate.MeanOver(60*time.Second, 90*time.Second)
+	g2 := res.Flow(2).ReceiveRate.MeanOver(60*time.Second, 90*time.Second)
+	if g1 < 120 {
+		t.Errorf("TCP flow goodput = %v, want a substantial share of its 250", g1)
+	}
+	if g2 < 150 || g2 > 350 {
+		t.Errorf("backlogged flow goodput = %v, want ~250", g2)
+	}
+}
+
+func TestTCPTransportValidation(t *testing.T) {
+	sc := Scenario{
+		Scheme:     SchemeCSFQ,
+		Duration:   time.Second,
+		NumFlows:   1,
+		Dumbbell:   true,
+		Transports: map[int]Transport{1: TransportTCP},
+	}
+	if _, err := Run(sc); err == nil {
+		t.Error("TCP transport under CSFQ accepted")
+	}
+}

@@ -1,0 +1,43 @@
+package maxmin
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// benchProblem builds a reproducible instance with n flows over a 6-link
+// line.
+func benchProblem(n int) Problem {
+	rng := rand.New(rand.NewSource(42))
+	capacity := make(map[string]float64, 6)
+	names := make([]string, 6)
+	for i := range names {
+		names[i] = fmt.Sprintf("l%d", i)
+		capacity[names[i]] = float64(rng.Intn(900) + 100)
+	}
+	flows := make(map[string]Flow, n)
+	for i := 0; i < n; i++ {
+		start := rng.Intn(len(names))
+		end := start + rng.Intn(len(names)-start)
+		flows[fmt.Sprintf("f%d", i)] = Flow{
+			Weight: float64(rng.Intn(5) + 1),
+			Links:  names[start : end+1],
+		}
+	}
+	return Problem{Capacity: capacity, Flows: flows}
+}
+
+func benchSolve(b *testing.B, n int) {
+	p := benchProblem(n)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Solve(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSolve20(b *testing.B)  { benchSolve(b, 20) }
+func BenchmarkSolve100(b *testing.B) { benchSolve(b, 100) }
+func BenchmarkSolve500(b *testing.B) { benchSolve(b, 500) }

@@ -1,0 +1,192 @@
+package maxmin
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestSolveWithMinimumsBasic(t *testing.T) {
+	p := Problem{
+		Capacity: map[string]float64{"L": 500},
+		Flows: map[string]Flow{
+			"guaranteed": {Weight: 1, Links: []string{"L"}},
+			"besteffort": {Weight: 1, Links: []string{"L"}},
+		},
+	}
+	got, err := SolveWithMinimums(p, map[string]float64{"guaranteed": 300})
+	if err != nil {
+		t.Fatalf("SolveWithMinimums: %v", err)
+	}
+	// Excess 200 split 100/100; guaranteed = 300 + 100.
+	if !almost(got["guaranteed"], 400) {
+		t.Errorf("guaranteed = %v, want 400", got["guaranteed"])
+	}
+	if !almost(got["besteffort"], 100) {
+		t.Errorf("besteffort = %v, want 100", got["besteffort"])
+	}
+}
+
+func TestSolveWithMinimumsWeighted(t *testing.T) {
+	p := Problem{
+		Capacity: map[string]float64{"L": 600},
+		Flows: map[string]Flow{
+			"a": {Weight: 1, Links: []string{"L"}},
+			"b": {Weight: 2, Links: []string{"L"}},
+		},
+	}
+	got, err := SolveWithMinimums(p, map[string]float64{"a": 150})
+	if err != nil {
+		t.Fatalf("SolveWithMinimums: %v", err)
+	}
+	// Excess 450 split 1:2 -> 150/300.
+	if !almost(got["a"], 300) || !almost(got["b"], 300) {
+		t.Errorf("alloc = %v, want a=300 b=300", got)
+	}
+}
+
+func TestSolveWithMinimumsNoContracts(t *testing.T) {
+	p := Problem{
+		Capacity: map[string]float64{"L": 100},
+		Flows: map[string]Flow{
+			"a": {Weight: 1, Links: []string{"L"}},
+			"b": {Weight: 1, Links: []string{"L"}},
+		},
+	}
+	got, err := SolveWithMinimums(p, nil)
+	if err != nil {
+		t.Fatalf("SolveWithMinimums(nil): %v", err)
+	}
+	if !almost(got["a"], 50) || !almost(got["b"], 50) {
+		t.Errorf("alloc without contracts = %v, want 50/50", got)
+	}
+}
+
+func TestSolveWithMinimumsOverSubscribed(t *testing.T) {
+	p := Problem{
+		Capacity: map[string]float64{"L": 100},
+		Flows: map[string]Flow{
+			"a": {Weight: 1, Links: []string{"L"}},
+			"b": {Weight: 1, Links: []string{"L"}},
+		},
+	}
+	_, err := SolveWithMinimums(p, map[string]float64{"a": 70, "b": 60})
+	if err == nil {
+		t.Fatal("over-subscribed minimums accepted")
+	}
+	if !strings.Contains(err.Error(), "over-subscribe") {
+		t.Errorf("error = %v, want over-subscription message", err)
+	}
+}
+
+func TestSolveWithMinimumsValidation(t *testing.T) {
+	p := Problem{
+		Capacity: map[string]float64{"L": 100},
+		Flows:    map[string]Flow{"a": {Weight: 1, Links: []string{"L"}}},
+	}
+	if _, err := SolveWithMinimums(p, map[string]float64{"a": -1}); err == nil {
+		t.Error("negative minimum accepted")
+	}
+	if _, err := SolveWithMinimums(p, map[string]float64{"ghost": 10}); err == nil {
+		t.Error("minimum for unknown flow accepted")
+	}
+	// A zero minimum for an unknown flow is harmless.
+	if _, err := SolveWithMinimums(p, map[string]float64{"ghost": 0}); err != nil {
+		t.Errorf("zero minimum for unknown flow rejected: %v", err)
+	}
+}
+
+func TestSolveWithMinimumsDemandCapped(t *testing.T) {
+	p := Problem{
+		Capacity: map[string]float64{"L": 100},
+		Flows: map[string]Flow{
+			"capped": {Weight: 1, Links: []string{"L"}, Demand: 20},
+			"open":   {Weight: 1, Links: []string{"L"}},
+		},
+	}
+	got, err := SolveWithMinimums(p, map[string]float64{"capped": 30})
+	if err != nil {
+		t.Fatalf("SolveWithMinimums: %v", err)
+	}
+	// The contract (30) already exceeds the demand (20): the flow gets its
+	// minimum and no excess; the open flow absorbs the rest.
+	if !almost(got["capped"], 30) {
+		t.Errorf("capped = %v, want 30 (contract floor)", got["capped"])
+	}
+	if !almost(got["open"], 70) {
+		t.Errorf("open = %v, want 70", got["open"])
+	}
+}
+
+func TestSolveWithMinimumsMultiLink(t *testing.T) {
+	// The guaranteed flow crosses both links; its minimum is reserved on
+	// both before the excess is shared.
+	p := Problem{
+		Capacity: map[string]float64{"L1": 300, "L2": 200},
+		Flows: map[string]Flow{
+			"long":   {Weight: 1, Links: []string{"L1", "L2"}},
+			"local1": {Weight: 1, Links: []string{"L1"}},
+			"local2": {Weight: 1, Links: []string{"L2"}},
+		},
+	}
+	got, err := SolveWithMinimums(p, map[string]float64{"long": 100})
+	if err != nil {
+		t.Fatalf("SolveWithMinimums: %v", err)
+	}
+	// Excess caps: L1 = 200, L2 = 100. Excess max-min: long gets 50 (L2
+	// bottleneck shared with local2), local2 50, local1 150.
+	if !almost(got["long"], 150) {
+		t.Errorf("long = %v, want 150 (100 contract + 50 excess)", got["long"])
+	}
+	if !almost(got["local2"], 50) {
+		t.Errorf("local2 = %v, want 50", got["local2"])
+	}
+	if !almost(got["local1"], 150) {
+		t.Errorf("local1 = %v, want 150", got["local1"])
+	}
+}
+
+// TestSolveWithMinimumsProperties checks on random instances that (a) each
+// flow receives at least its contract, (b) no link is over-subscribed, and
+// (c) removing the contracts never gives a contracted flow more than its
+// contracted allocation plus the no-contract allocation (sanity: contracts
+// only help).
+func TestSolveWithMinimumsProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 300; trial++ {
+		p := randomProblem(rng)
+		// Pick small random minimums (safe against over-subscription).
+		mins := make(map[string]float64)
+		for name, f := range p.Flows {
+			if rng.Intn(2) == 0 {
+				continue
+			}
+			// Bound each minimum by a share of the tightest link.
+			tight := 1e18
+			for _, l := range f.Links {
+				if p.Capacity[l] < tight {
+					tight = p.Capacity[l]
+				}
+			}
+			mins[name] = tight / float64(len(p.Flows)+1) * rng.Float64()
+		}
+		alloc, err := SolveWithMinimums(p, mins)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		load := make(map[string]float64)
+		for name, f := range p.Flows {
+			if alloc[name] < mins[name]-1e-9 {
+				t.Fatalf("trial %d: flow %s got %v below contract %v", trial, name, alloc[name], mins[name])
+			}
+			for _, l := range f.Links {
+				load[l] += alloc[name]
+			}
+		}
+		for l, used := range load {
+			if used > p.Capacity[l]+1e-6 {
+				t.Fatalf("trial %d: link %s over-subscribed: %v > %v", trial, l, used, p.Capacity[l])
+			}
+		}
+	}
+}

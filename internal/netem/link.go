@@ -1,0 +1,117 @@
+package netem
+
+import (
+	"time"
+
+	"repro/internal/packet"
+)
+
+// LinkStats aggregates per-link counters.
+type LinkStats struct {
+	// Enqueued counts packets accepted into the output queue.
+	Enqueued int64
+	// Transmitted counts packets fully serviced onto the wire.
+	Transmitted int64
+	// TxBytes counts bytes transmitted.
+	TxBytes int64
+	// DroppedOverflow counts packets rejected by the discipline (buffer
+	// overflow or AQM early drop).
+	DroppedOverflow int64
+}
+
+// Link is a unidirectional link with an output queue at the sending node, a
+// fixed transmission rate, and a fixed propagation delay. Its service model
+// matches ns-2's SimpleLink: one packet in transmission at a time; a packet
+// of S bytes occupies the transmitter for S·8/rate seconds and arrives at
+// the far end a further Delay later.
+type Link struct {
+	name    string
+	from    *Node
+	to      *Node
+	rateBps float64
+	delay   time.Duration
+
+	queue   Discipline
+	monitor *QueueMonitor
+	net     *Network
+	busy    bool
+
+	stats LinkStats
+}
+
+// Name reports the link's identifier ("from->to").
+func (l *Link) Name() string { return l.name }
+
+// From reports the sending node.
+func (l *Link) From() *Node { return l.from }
+
+// To reports the receiving node.
+func (l *Link) To() *Node { return l.to }
+
+// RateBps reports the transmission rate in bits per second.
+func (l *Link) RateBps() float64 { return l.rateBps }
+
+// Delay reports the propagation delay.
+func (l *Link) Delay() time.Duration { return l.delay }
+
+// Queue exposes the discipline (read-mostly; used by tests and AQM metrics).
+func (l *Link) Queue() Discipline { return l.queue }
+
+// Monitor exposes the time-averaged queue monitor Corelite cores read.
+func (l *Link) Monitor() *QueueMonitor { return l.monitor }
+
+// Stats returns a copy of the link counters.
+func (l *Link) Stats() LinkStats { return l.stats }
+
+// PacketsPerSecond reports the service rate for packets of size bytes.
+func (l *Link) PacketsPerSecond(sizeBytes int) float64 {
+	if sizeBytes <= 0 {
+		return 0
+	}
+	return l.rateBps / (8 * float64(sizeBytes))
+}
+
+// serviceTime is the time the transmitter is occupied by p.
+func (l *Link) serviceTime(p *packet.Packet) time.Duration {
+	seconds := float64(p.SizeBytes) * 8 / l.rateBps
+	return time.Duration(seconds * float64(time.Second))
+}
+
+// send offers p to the link. If the discipline rejects it the packet is
+// dropped and the network's drop listeners fire.
+func (l *Link) send(p *packet.Packet) {
+	now := l.net.sched.Now()
+	if !l.queue.Enqueue(p) {
+		l.stats.DroppedOverflow++
+		l.net.notifyDrop(Drop{Packet: p, Node: l.from.name, Link: l, Reason: DropOverflow, At: now})
+		return
+	}
+	l.stats.Enqueued++
+	l.net.trace(TraceEvent{At: now, Kind: EventEnqueue, Where: l.name, Packet: p})
+	l.monitor.Observe(now, l.queue.Len())
+	if !l.busy {
+		l.startService()
+	}
+}
+
+// startService begins transmitting the head-of-line packet.
+func (l *Link) startService() {
+	p := l.queue.Dequeue()
+	if p == nil {
+		l.busy = false
+		return
+	}
+	l.busy = true
+	now := l.net.sched.Now()
+	l.net.trace(TraceEvent{At: now, Kind: EventDequeue, Where: l.name, Packet: p})
+	l.monitor.Observe(now, l.queue.Len())
+	st := l.serviceTime(p)
+	l.net.sched.MustAfter(st, func() {
+		l.stats.Transmitted++
+		l.stats.TxBytes += int64(p.SizeBytes)
+		// Propagation: the packet arrives at the far node Delay later;
+		// the transmitter is immediately free for the next packet.
+		l.net.sched.MustAfter(l.delay, func() { l.to.deliver(p) })
+		l.startService()
+	})
+}

@@ -1,0 +1,327 @@
+package netem
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/packet"
+	"repro/internal/sim"
+)
+
+// DropReason classifies why a packet was discarded.
+type DropReason int
+
+// Drop reasons.
+const (
+	// DropOverflow: the output queue (or its AQM) rejected the packet.
+	DropOverflow DropReason = iota + 1
+	// DropPolicy: a Forwarder (e.g. CSFQ's probabilistic dropper)
+	// discarded the packet.
+	DropPolicy
+	// DropNoRoute: the node had no route to the destination.
+	DropNoRoute
+)
+
+// String implements fmt.Stringer.
+func (r DropReason) String() string {
+	switch r {
+	case DropOverflow:
+		return "overflow"
+	case DropPolicy:
+		return "policy"
+	case DropNoRoute:
+		return "no-route"
+	default:
+		return fmt.Sprintf("DropReason(%d)", int(r))
+	}
+}
+
+// Drop describes a discarded packet.
+type Drop struct {
+	Packet *packet.Packet
+	// Node is where the drop occurred.
+	Node string
+	// Link is the intended output link (nil for routing failures).
+	Link   *Link
+	Reason DropReason
+	At     time.Duration
+}
+
+// Network is a simulated network cloud: nodes, links, static shortest-path
+// routes, and a latency-faithful control plane for feedback messages.
+type Network struct {
+	sched  *sim.Scheduler
+	nodes  map[string]*Node
+	order  []string // node names in creation order, for determinism
+	links  []*Link
+	onDrop []func(Drop)
+
+	// pathDelay caches propagation latency between node pairs, filled by
+	// ComputeRoutes.
+	pathDelay map[[2]string]time.Duration
+
+	tracer Tracer
+}
+
+// New returns an empty network driven by sched.
+func New(sched *sim.Scheduler) *Network {
+	return &Network{
+		sched:     sched,
+		nodes:     make(map[string]*Node),
+		pathDelay: make(map[[2]string]time.Duration),
+	}
+}
+
+// Scheduler exposes the simulation scheduler driving this network.
+func (n *Network) Scheduler() *sim.Scheduler { return n.sched }
+
+// Now reports the current virtual time.
+func (n *Network) Now() time.Duration { return n.sched.Now() }
+
+// AddNode creates a node with the given unique name.
+func (n *Network) AddNode(name string) (*Node, error) {
+	if _, exists := n.nodes[name]; exists {
+		return nil, fmt.Errorf("netem: duplicate node %q", name)
+	}
+	node := &Node{
+		name:    name,
+		net:     n,
+		links:   make(map[string]*Link),
+		nextHop: make(map[string]string),
+	}
+	n.nodes[name] = node
+	n.order = append(n.order, name)
+	return node, nil
+}
+
+// Node returns the named node, or nil.
+func (n *Network) Node(name string) *Node { return n.nodes[name] }
+
+// Nodes returns node names in creation order.
+func (n *Network) Nodes() []string {
+	out := make([]string, len(n.order))
+	copy(out, n.order)
+	return out
+}
+
+// Links returns all links in creation order.
+func (n *Network) Links() []*Link {
+	out := make([]*Link, len(n.links))
+	copy(out, n.links)
+	return out
+}
+
+// LinkConfig describes one unidirectional link.
+type LinkConfig struct {
+	// RateBps is the transmission rate in bits per second.
+	RateBps float64
+	// Delay is the propagation delay.
+	Delay time.Duration
+	// Queue is the output discipline; nil defaults to a 40-packet
+	// drop-tail queue (the paper's setting).
+	Queue Discipline
+}
+
+// DefaultQueueCapacity is the paper's router buffer size in packets.
+const DefaultQueueCapacity = 40
+
+// AddLink creates a unidirectional link from -> to.
+func (n *Network) AddLink(from, to string, cfg LinkConfig) (*Link, error) {
+	src, ok := n.nodes[from]
+	if !ok {
+		return nil, fmt.Errorf("netem: unknown node %q", from)
+	}
+	dst, ok := n.nodes[to]
+	if !ok {
+		return nil, fmt.Errorf("netem: unknown node %q", to)
+	}
+	if _, dup := src.links[to]; dup {
+		return nil, fmt.Errorf("netem: duplicate link %s->%s", from, to)
+	}
+	if cfg.RateBps <= 0 {
+		return nil, fmt.Errorf("netem: link %s->%s needs a positive rate", from, to)
+	}
+	if cfg.Delay < 0 {
+		return nil, fmt.Errorf("netem: link %s->%s has negative delay", from, to)
+	}
+	q := cfg.Queue
+	if q == nil {
+		q = NewDropTail(DefaultQueueCapacity)
+	}
+	l := &Link{
+		name:    from + "->" + to,
+		from:    src,
+		to:      dst,
+		rateBps: cfg.RateBps,
+		delay:   cfg.Delay,
+		queue:   q,
+		monitor: NewQueueMonitor(n.sched.Now()),
+		net:     n,
+	}
+	src.links[to] = l
+	n.links = append(n.links, l)
+	return l, nil
+}
+
+// Connect creates a duplex pair of links between a and b with identical
+// parameters. Queue disciplines are not shared: when cfg.Queue is non-nil it
+// is used for a->b only and b->a gets a default drop-tail queue; pass nil to
+// give both directions default queues.
+func (n *Network) Connect(a, b string, cfg LinkConfig) (ab, ba *Link, err error) {
+	ab, err = n.AddLink(a, b, cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	back := cfg
+	back.Queue = nil
+	ba, err = n.AddLink(b, a, back)
+	if err != nil {
+		return nil, nil, err
+	}
+	return ab, ba, nil
+}
+
+// OnDrop registers fn to be invoked for every dropped packet.
+func (n *Network) OnDrop(fn func(Drop)) { n.onDrop = append(n.onDrop, fn) }
+
+func (n *Network) notifyDrop(d Drop) {
+	where := d.Node
+	if d.Link != nil {
+		where = d.Link.Name()
+	}
+	n.trace(TraceEvent{At: d.At, Kind: EventDrop, Where: where, Packet: d.Packet, Reason: d.Reason})
+	for _, fn := range n.onDrop {
+		fn(d)
+	}
+}
+
+// ComputeRoutes fills every node's next-hop table with shortest paths
+// (weighted by propagation delay, ties broken by hop count then by node
+// name for determinism) and caches pairwise path latencies for the control
+// plane. It must be called after topology construction and before traffic
+// starts; call it again if links are added later.
+func (n *Network) ComputeRoutes() error {
+	n.pathDelay = make(map[[2]string]time.Duration, len(n.order)*len(n.order))
+	for _, src := range n.order {
+		dist, firstHop, err := n.dijkstra(src)
+		if err != nil {
+			return err
+		}
+		node := n.nodes[src]
+		node.nextHop = firstHop
+		for dst, d := range dist {
+			n.pathDelay[[2]string{src, dst}] = d
+		}
+	}
+	return nil
+}
+
+// dijkstra computes, from src, the propagation-latency distance and the
+// first hop toward every reachable node.
+func (n *Network) dijkstra(src string) (map[string]time.Duration, map[string]string, error) {
+	type entry struct {
+		dist time.Duration
+		hops int
+	}
+	dist := map[string]entry{src: {}}
+	firstHop := make(map[string]string)
+	visited := make(map[string]bool)
+	for {
+		// Select the unvisited node with the smallest (dist, hops, name).
+		var cur string
+		found := false
+		for name, e := range dist {
+			if visited[name] {
+				continue
+			}
+			if !found {
+				cur, found = name, true
+				continue
+			}
+			c := dist[cur]
+			if e.dist < c.dist || (e.dist == c.dist && e.hops < c.hops) ||
+				(e.dist == c.dist && e.hops == c.hops && name < cur) {
+				cur = name
+			}
+		}
+		if !found {
+			break
+		}
+		visited[cur] = true
+		node := n.nodes[cur]
+		neighbors := make([]string, 0, len(node.links))
+		for next := range node.links {
+			neighbors = append(neighbors, next)
+		}
+		sort.Strings(neighbors)
+		for _, next := range neighbors {
+			l := node.links[next]
+			cand := entry{dist[cur].dist + l.delay, dist[cur].hops + 1}
+			old, seen := dist[next]
+			if !seen || cand.dist < old.dist || (cand.dist == old.dist && cand.hops < old.hops) {
+				dist[next] = cand
+				if cur == src {
+					firstHop[next] = next
+				} else {
+					firstHop[next] = firstHop[cur]
+				}
+			}
+		}
+	}
+	out := make(map[string]time.Duration, len(dist))
+	for name, e := range dist {
+		out[name] = e.dist
+	}
+	return out, firstHop, nil
+}
+
+// Path reports the routed node sequence from -> ... -> to (inclusive). It
+// requires ComputeRoutes to have run.
+func (n *Network) Path(from, to string) ([]string, error) {
+	if n.nodes[from] == nil {
+		return nil, fmt.Errorf("netem: unknown node %q", from)
+	}
+	if n.nodes[to] == nil {
+		return nil, fmt.Errorf("netem: unknown node %q", to)
+	}
+	path := []string{from}
+	cur := from
+	for cur != to {
+		next, ok := n.nodes[cur].nextHop[to]
+		if !ok {
+			return nil, fmt.Errorf("netem: no path %s -> %s (did you call ComputeRoutes?)", from, to)
+		}
+		path = append(path, next)
+		cur = next
+		if len(path) > len(n.nodes)+1 {
+			return nil, fmt.Errorf("netem: routing loop on path %s -> %s", from, to)
+		}
+	}
+	return path, nil
+}
+
+// PathDelay reports the one-way propagation latency between two nodes along
+// the routed path. It is used by the control plane to deliver feedback and
+// loss notifications with faithful timing.
+func (n *Network) PathDelay(from, to string) (time.Duration, error) {
+	d, ok := n.pathDelay[[2]string{from, to}]
+	if !ok {
+		return 0, fmt.Errorf("netem: no path %s -> %s (did you call ComputeRoutes?)", from, to)
+	}
+	return d, nil
+}
+
+// SendControl delivers fn at the destination after the routed one-way
+// propagation latency from -> to. Control messages (Corelite marker
+// feedback, CSFQ loss notifications) are tiny compared to 1KB data packets,
+// so they are modelled as consuming no data-plane bandwidth while
+// preserving exactly the path delay — see DESIGN.md §2.
+func (n *Network) SendControl(from, to string, fn func()) error {
+	d, err := n.PathDelay(from, to)
+	if err != nil {
+		return err
+	}
+	n.sched.MustAfter(d, fn)
+	return nil
+}

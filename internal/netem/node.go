@@ -1,0 +1,97 @@
+package netem
+
+import (
+	"fmt"
+
+	"repro/internal/packet"
+)
+
+// App consumes packets addressed to a node (an edge router's egress side, a
+// traffic sink, ...).
+type App interface {
+	// Receive is invoked when a packet destined to this node arrives.
+	Receive(p *packet.Packet)
+}
+
+// Forwarder intercepts packets a node is about to forward. This is the hook
+// through which core-router logic attaches: a Corelite core observes marked
+// packets per output link (and never drops), while a CSFQ core implements
+// probabilistic dropping.
+type Forwarder interface {
+	// OnForward is called with the packet and the chosen output link
+	// before enqueueing. Returning false drops the packet (a policy drop).
+	OnForward(p *packet.Packet, out *Link) bool
+}
+
+// Node is a router or host in the simulated cloud.
+type Node struct {
+	name      string
+	net       *Network
+	links     map[string]*Link // next-hop node name -> link
+	nextHop   map[string]string
+	app       App
+	forwarder Forwarder
+}
+
+// Name reports the node's unique name.
+func (n *Node) Name() string { return n.name }
+
+// SetApp installs the packet consumer for packets addressed to this node.
+func (n *Node) SetApp(a App) { n.app = a }
+
+// SetForwarder installs the forwarding interceptor (core-router logic).
+func (n *Node) SetForwarder(f Forwarder) { n.forwarder = f }
+
+// LinkTo reports the link to the named adjacent node, or nil.
+func (n *Node) LinkTo(neighbor string) *Link { return n.links[neighbor] }
+
+// Links returns the outgoing links in deterministic (insertion-independent)
+// order is not guaranteed; callers that need determinism should iterate the
+// topology instead. It is primarily a convenience for attaching per-link
+// state.
+func (n *Node) Links() []*Link {
+	out := make([]*Link, 0, len(n.links))
+	for _, l := range n.links {
+		out = append(out, l)
+	}
+	return out
+}
+
+// Inject hands a packet to the node as if it had been generated locally
+// (used by edge routers to launch shaped traffic into the cloud).
+func (n *Node) Inject(p *packet.Packet) { n.deliver(p) }
+
+// deliver processes a packet arriving at (or originating from) the node.
+func (n *Node) deliver(p *packet.Packet) {
+	if p.Dst == n.name {
+		n.net.trace(TraceEvent{At: n.net.sched.Now(), Kind: EventReceive, Where: n.name, Packet: p})
+		if n.app != nil {
+			n.app.Receive(p)
+		}
+		return
+	}
+	next, ok := n.nextHop[p.Dst]
+	if !ok {
+		n.net.notifyDrop(Drop{Packet: p, Node: n.name, Reason: DropNoRoute, At: n.net.sched.Now()})
+		return
+	}
+	out := n.links[next]
+	if out == nil {
+		n.net.notifyDrop(Drop{Packet: p, Node: n.name, Reason: DropNoRoute, At: n.net.sched.Now()})
+		return
+	}
+	if n.forwarder != nil && !n.forwarder.OnForward(p, out) {
+		n.net.notifyDrop(Drop{Packet: p, Node: n.name, Link: out, Reason: DropPolicy, At: n.net.sched.Now()})
+		return
+	}
+	out.send(p)
+}
+
+// route returns the next-hop name for dst, for tests.
+func (n *Node) route(dst string) (string, error) {
+	next, ok := n.nextHop[dst]
+	if !ok {
+		return "", fmt.Errorf("netem: %s has no route to %s", n.name, dst)
+	}
+	return next, nil
+}

@@ -1,0 +1,197 @@
+package netem
+
+import (
+	"container/heap"
+
+	"repro/internal/packet"
+)
+
+// WFQ is a Weighted Fair Queueing discipline — the state-intensive
+// Intserv-style scheduler the paper contrasts core-stateless designs
+// against (§1: weighted rate fairness "has been previously used in
+// state-intensive Intserv-like networks"). It maintains a queue and a
+// virtual finish time per flow (exactly the per-flow state Corelite
+// eliminates) and serves packets in finish-time order, which yields exact
+// weighted max-min shares among backlogged flows at a single link.
+//
+// The implementation is classic virtual-clock WFQ with packet-count
+// service (all evaluation packets are the same size): a flow's packet is
+// stamped F = max(V, F_prev) + 1/w, and the scheduler always serves the
+// smallest stamp.
+type WFQ struct {
+	capacity int
+	// weightOf resolves a flow's weight; unknown flows default to 1.
+	weightOf func(packet.FlowID) float64
+
+	flows  map[packet.FlowID]*wfqFlow
+	pq     wfqHeap
+	vtime  float64
+	length int
+	seq    uint64
+}
+
+type wfqFlow struct {
+	queue  []*packet.Packet
+	finish float64 // finish time of the head-of-line packet
+	weight float64
+	index  int // position in the heap, -1 when not backlogged
+	seq    uint64
+	id     packet.FlowID
+}
+
+var _ Discipline = (*WFQ)(nil)
+
+// NewWFQ returns a WFQ queue holding at most capacity packets in total.
+// weightOf supplies per-flow weights (nil = all weights 1).
+func NewWFQ(capacity int, weightOf func(packet.FlowID) float64) *WFQ {
+	if capacity <= 0 {
+		capacity = 1
+	}
+	return &WFQ{
+		capacity: capacity,
+		weightOf: weightOf,
+		flows:    make(map[packet.FlowID]*wfqFlow),
+	}
+}
+
+// ActiveFlows reports the number of flows with packets queued — the
+// per-flow state the paper's design goal rules out at the core.
+func (w *WFQ) ActiveFlows() int { return len(w.flows) }
+
+// Enqueue implements Discipline. On overflow, WFQ applies
+// drop-from-longest-queue buffer management: the arriving packet evicts
+// the tail of the most backlogged flow (or is itself rejected when its
+// own flow holds the longest queue). Without per-flow buffer sharing, a
+// fair scheduler degenerates to tail-drop admission under persistent
+// overload and the weighted shares are lost.
+func (w *WFQ) Enqueue(p *packet.Packet) bool {
+	if w.length >= w.capacity {
+		longest := w.longestFlow()
+		if longest == nil || longest.id == p.Flow {
+			return false
+		}
+		w.evictTail(longest)
+	}
+	f, ok := w.flows[p.Flow]
+	if !ok {
+		weight := 1.0
+		if w.weightOf != nil {
+			if v := w.weightOf(p.Flow); v > 0 {
+				weight = v
+			}
+		}
+		f = &wfqFlow{weight: weight, index: -1, id: p.Flow}
+		w.flows[p.Flow] = f
+	}
+	f.queue = append(f.queue, p)
+	w.length++
+	if f.index < 0 {
+		// Newly backlogged: stamp the head against the virtual clock.
+		f.finish = w.vtime + 1/f.weight
+		f.seq = w.seq
+		w.seq++
+		heap.Push(&w.pq, f)
+	}
+	return true
+}
+
+// Dequeue implements Discipline.
+func (w *WFQ) Dequeue() *packet.Packet {
+	if w.pq.Len() == 0 {
+		return nil
+	}
+	f, ok := heap.Pop(&w.pq).(*wfqFlow)
+	if !ok {
+		panic("netem: WFQ heap contained a non-flow")
+	}
+	p := f.queue[0]
+	f.queue[0] = nil
+	f.queue = f.queue[1:]
+	w.length--
+	// Advance the virtual clock to the served packet's finish time.
+	if f.finish > w.vtime {
+		w.vtime = f.finish
+	}
+	if len(f.queue) > 0 {
+		f.finish += 1 / f.weight
+		f.seq = w.seq
+		w.seq++
+		heap.Push(&w.pq, f)
+	} else {
+		delete(w.flows, f.id)
+	}
+	return p
+}
+
+// Len implements Discipline.
+func (w *WFQ) Len() int { return w.length }
+
+// longestFlow returns the flow with the largest per-packet-weighted
+// backlog (ties broken by insertion order via the map-free heap scan).
+func (w *WFQ) longestFlow() *wfqFlow {
+	var longest *wfqFlow
+	for _, f := range w.pq {
+		if longest == nil || len(f.queue) > len(longest.queue) {
+			longest = f
+		}
+	}
+	return longest
+}
+
+// evictTail removes the last queued packet of f (never the head, whose
+// finish stamp is already in the heap).
+func (w *WFQ) evictTail(f *wfqFlow) {
+	n := len(f.queue)
+	if n == 0 {
+		return
+	}
+	if n == 1 {
+		// Head-of-line is the only packet: remove the flow entirely.
+		heap.Remove(&w.pq, f.index)
+		delete(w.flows, f.id)
+		w.length--
+		return
+	}
+	f.queue[n-1] = nil
+	f.queue = f.queue[:n-1]
+	w.length--
+}
+
+// wfqHeap orders backlogged flows by (finish time, arrival sequence).
+type wfqHeap []*wfqFlow
+
+var _ heap.Interface = (*wfqHeap)(nil)
+
+func (h wfqHeap) Len() int { return len(h) }
+
+func (h wfqHeap) Less(i, j int) bool {
+	if h[i].finish != h[j].finish {
+		return h[i].finish < h[j].finish
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h wfqHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+
+func (h *wfqHeap) Push(x any) {
+	f, ok := x.(*wfqFlow)
+	if !ok {
+		panic("netem: push of a non-flow")
+	}
+	f.index = len(*h)
+	*h = append(*h, f)
+}
+
+func (h *wfqHeap) Pop() any {
+	old := *h
+	n := len(old)
+	f := old[n-1]
+	old[n-1] = nil
+	f.index = -1
+	*h = old[:n-1]
+	return f
+}

@@ -1,0 +1,99 @@
+// Package packet defines the data units that traverse the simulated network:
+// data packets (optionally carrying a piggybacked Corelite marker or a CSFQ
+// label) and the flow identity they belong to.
+//
+// Corelite's marker packets are "logically distinct though ... physically
+// piggybacked to a data packet" (paper §2.2); we model them exactly that way:
+// every N_w-th data packet of a flow carries a marker with the flow's
+// normalized rate, so markers consume no extra bandwidth and experience the
+// same per-hop delays as the data they ride on.
+package packet
+
+import (
+	"fmt"
+	"time"
+)
+
+// FlowID identifies an edge-to-edge flow uniquely within the network cloud.
+// Per the paper, "the contents of the marker identify the packet flow to
+// which it corresponds uniquely within the edge router", so the pair
+// (ingress edge, local id) is globally unique.
+type FlowID struct {
+	// Edge is the name of the ingress edge router that controls the flow.
+	Edge string
+	// Local is the flow's identifier within that edge router.
+	Local int
+}
+
+// String renders the id as "edge/local".
+func (f FlowID) String() string { return fmt.Sprintf("%s/%d", f.Edge, f.Local) }
+
+// Marker is the Corelite marker piggybacked on a data packet. The source
+// address of the marker is the edge router that generated it, and the label
+// is the flow's normalized rate r_n = b_g / w at injection time (used by the
+// cache-less selective feedback of paper §3.2).
+type Marker struct {
+	Flow FlowID
+	// Rate is the labelled normalized rate r_n in packets per second.
+	Rate float64
+}
+
+// Kind distinguishes payload packets from transport acknowledgements
+// (used by the end-host TCP-like agents; the QoS schemes only shape and
+// mark data packets).
+type Kind int
+
+// Packet kinds. KindData is the zero value: every packet is data unless
+// explicitly marked otherwise.
+const (
+	KindData Kind = iota
+	KindAck
+)
+
+// AckSizeBytes is the size of a transport acknowledgement.
+const AckSizeBytes = 40
+
+// Packet is a single data packet in flight.
+//
+// Packets are created by edge routers and freed implicitly by garbage
+// collection when they reach the sink or are dropped; routers must not
+// retain references after forwarding.
+type Packet struct {
+	// Kind distinguishes data from transport acknowledgements.
+	Kind Kind
+	// Flow identifies the edge-to-edge flow the packet belongs to.
+	Flow FlowID
+	// Dst is the name of the egress node the packet is routed to.
+	Dst string
+	// SizeBytes is the packet length. The paper's evaluation uses a fixed
+	// 1000-byte packet everywhere.
+	SizeBytes int
+	// Seq is the per-flow sequence number (0-based).
+	Seq int64
+	// SentAt is the virtual time the ingress edge emitted the packet.
+	SentAt time.Duration
+
+	// Marker, when non-nil, is the piggybacked Corelite marker.
+	Marker *Marker
+
+	// Label is the CSFQ label: the flow's estimated normalized rate in
+	// packets per second. Zero for schemes that do not label. Core CSFQ
+	// routers may relabel (lower) it at each congested link.
+	Label float64
+}
+
+// DefaultSizeBytes is the packet size used throughout the paper's
+// evaluation (1 KB).
+const DefaultSizeBytes = 1000
+
+// New returns a data packet for flow f addressed to dst with the default
+// evaluation packet size.
+func New(f FlowID, dst string, seq int64, sentAt time.Duration) *Packet {
+	return &Packet{
+		Flow:      f,
+		Dst:       dst,
+		SizeBytes: DefaultSizeBytes,
+		Seq:       seq,
+		SentAt:    sentAt,
+	}
+}

@@ -1,0 +1,73 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+// BenchmarkSchedulerChain measures pure event throughput: one
+// self-rescheduling event chain (the dominant pattern in the simulator).
+func BenchmarkSchedulerChain(b *testing.B) {
+	s := NewScheduler()
+	n := 0
+	var tick func()
+	tick = func() {
+		n++
+		if n < b.N {
+			s.MustAfter(time.Microsecond, tick)
+		}
+	}
+	s.MustAfter(time.Microsecond, tick)
+	b.ResetTimer()
+	if err := s.RunAll(); err != nil {
+		b.Fatal(err)
+	}
+	if n != b.N {
+		b.Fatalf("ran %d events, want %d", n, b.N)
+	}
+}
+
+// BenchmarkSchedulerFanout measures heap behaviour with many pending
+// events (1024 concurrent chains).
+func BenchmarkSchedulerFanout(b *testing.B) {
+	const chains = 1024
+	s := NewScheduler()
+	remaining := b.N
+	var tick func(i int)
+	tick = func(i int) {
+		if remaining <= 0 {
+			return
+		}
+		remaining--
+		s.MustAfter(time.Duration(i%7+1)*time.Microsecond, func() { tick(i) })
+	}
+	for i := 0; i < chains; i++ {
+		i := i
+		s.MustAfter(time.Duration(i)*time.Nanosecond, func() { tick(i) })
+	}
+	b.ResetTimer()
+	_ = s.RunAll()
+}
+
+// BenchmarkCancelHeavy measures cancellation overhead: half the scheduled
+// events are cancelled before running.
+func BenchmarkCancelHeavy(b *testing.B) {
+	s := NewScheduler()
+	for i := 0; i < b.N; i++ {
+		e := s.MustAfter(time.Duration(i)*time.Microsecond, func() {})
+		if i%2 == 0 {
+			e.Cancel()
+		}
+	}
+	b.ResetTimer()
+	_ = s.RunAll()
+}
+
+// BenchmarkRNGStream measures derived-stream draws.
+func BenchmarkRNGStream(b *testing.B) {
+	r := NewRNG(1).Stream("bench")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = r.Float64()
+	}
+}

@@ -1,0 +1,232 @@
+// Package sim provides a deterministic discrete-event simulation engine.
+//
+// The engine is the substrate on which the packet-level network simulator is
+// built (the role ns-2's scheduler plays in the original Corelite
+// evaluation). It offers a virtual clock, an event queue with stable FIFO
+// ordering for simultaneous events, cancellable timers, and seeded random
+// number streams so that every run is exactly reproducible.
+//
+// The engine is single-threaded by design: events execute sequentially in
+// timestamp order, so model code needs no locking and every simulation with
+// the same seed produces the same trace.
+package sim
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"time"
+)
+
+// Time is a virtual timestamp measured as an offset from the start of the
+// simulation. The simulation clock starts at zero.
+type Time = time.Duration
+
+// ErrHalted is returned by Run when Halt was called before the horizon was
+// reached.
+var ErrHalted = errors.New("simulation halted")
+
+// Event is a scheduled callback. It is returned by the scheduling methods so
+// that callers may cancel it before it fires.
+type Event struct {
+	at       Time
+	seq      uint64
+	index    int // position in the heap, -1 when not queued
+	canceled bool
+	fn       func()
+}
+
+// At reports the virtual time at which the event is (or was) scheduled to
+// fire.
+func (e *Event) At() Time { return e.at }
+
+// Cancel prevents the event from firing. Cancelling an event that already
+// fired or was already cancelled is a no-op. Cancel must only be called from
+// within the simulation (i.e. from event callbacks or before Run), never from
+// another goroutine.
+func (e *Event) Cancel() {
+	e.canceled = true
+	e.fn = nil
+}
+
+// Canceled reports whether Cancel was called on the event.
+func (e *Event) Canceled() bool { return e.canceled }
+
+// Scheduler owns the virtual clock and the pending-event queue.
+//
+// The zero value is ready to use; NewScheduler is provided for symmetry and
+// future options.
+type Scheduler struct {
+	now     Time
+	seq     uint64
+	events  eventHeap
+	halted  bool
+	stepped uint64
+}
+
+// NewScheduler returns an empty scheduler with the clock at zero.
+func NewScheduler() *Scheduler {
+	return &Scheduler{}
+}
+
+// Now reports the current virtual time.
+func (s *Scheduler) Now() Time { return s.now }
+
+// Len reports the number of pending (non-cancelled scheduling slots may
+// include cancelled events that have not yet been popped).
+func (s *Scheduler) Len() int { return s.events.Len() }
+
+// Processed reports how many events have been executed so far.
+func (s *Scheduler) Processed() uint64 { return s.stepped }
+
+// At schedules fn to run at absolute virtual time t. Scheduling in the past
+// is an error: models that do this are buggy, so At returns a nil event and
+// an error rather than silently reordering time.
+func (s *Scheduler) At(t Time, fn func()) (*Event, error) {
+	if t < s.now {
+		return nil, fmt.Errorf("sim: schedule at %v before now %v", t, s.now)
+	}
+	if fn == nil {
+		return nil, errors.New("sim: schedule nil callback")
+	}
+	e := &Event{at: t, seq: s.seq, fn: fn, index: -1}
+	s.seq++
+	heap.Push(&s.events, e)
+	return e, nil
+}
+
+// After schedules fn to run d after the current virtual time. A negative d is
+// an error.
+func (s *Scheduler) After(d time.Duration, fn func()) (*Event, error) {
+	return s.At(s.now+d, fn)
+}
+
+// MustAfter is After for callers that schedule with non-negative delays by
+// construction (the common case inside model code). It panics on the
+// programming errors After reports.
+func (s *Scheduler) MustAfter(d time.Duration, fn func()) *Event {
+	e, err := s.After(d, fn)
+	if err != nil {
+		panic(err)
+	}
+	return e
+}
+
+// MustAt is At for callers that schedule in the future by construction.
+func (s *Scheduler) MustAt(t Time, fn func()) *Event {
+	e, err := s.At(t, fn)
+	if err != nil {
+		panic(err)
+	}
+	return e
+}
+
+// Halt stops Run before the horizon. It is intended to be called from within
+// an event callback (e.g. when a termination condition is detected).
+func (s *Scheduler) Halt() { s.halted = true }
+
+// Step executes the single earliest pending event. It reports whether an
+// event was executed (false when the queue is empty). Cancelled events are
+// skipped without being counted as progress.
+func (s *Scheduler) Step() bool {
+	for s.events.Len() > 0 {
+		e, ok := heap.Pop(&s.events).(*Event)
+		if !ok {
+			// The heap only ever stores *Event; reaching this branch
+			// means memory corruption, which is unrecoverable.
+			panic("sim: event heap contained a non-event")
+		}
+		if e.canceled {
+			continue
+		}
+		s.now = e.at
+		s.stepped++
+		fn := e.fn
+		e.fn = nil
+		fn()
+		return true
+	}
+	return false
+}
+
+// Run executes events in order until the queue is empty, the next event lies
+// beyond the horizon, or Halt is called. On return the clock is at the time
+// of the last executed event (or at horizon when the queue drained past it).
+// Run returns ErrHalted if the run was stopped by Halt.
+func (s *Scheduler) Run(horizon Time) error {
+	s.halted = false
+	for !s.halted {
+		next, ok := s.peek()
+		if !ok || next.at > horizon {
+			if s.now < horizon {
+				s.now = horizon
+			}
+			return nil
+		}
+		s.Step()
+	}
+	return ErrHalted
+}
+
+// RunAll executes events until the queue is empty or Halt is called.
+func (s *Scheduler) RunAll() error {
+	s.halted = false
+	for !s.halted {
+		if !s.Step() {
+			return nil
+		}
+	}
+	return ErrHalted
+}
+
+func (s *Scheduler) peek() (*Event, bool) {
+	for s.events.Len() > 0 {
+		e := s.events[0]
+		if e.canceled {
+			heap.Pop(&s.events)
+			continue
+		}
+		return e, true
+	}
+	return nil, false
+}
+
+// eventHeap orders events by (time, sequence) so that events scheduled for
+// the same instant fire in scheduling order (stable FIFO tie-break).
+type eventHeap []*Event
+
+var _ heap.Interface = (*eventHeap)(nil)
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+
+func (h *eventHeap) Push(x any) {
+	e, ok := x.(*Event)
+	if !ok {
+		panic("sim: push of a non-event")
+	}
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*h = old[:n-1]
+	return e
+}

@@ -1,0 +1,446 @@
+// Package topospec parses a small declarative text format describing
+// custom network clouds — nodes, links, and flow slots — and builds them
+// into simulated topologies. It lets coresim (and library users) run the
+// QoS schemes on arbitrary clouds without writing Go:
+//
+//	# a Y-shaped cloud: two ingress branches merging into one trunk
+//	node A core
+//	node B core
+//	node C core
+//	duplex A C 4Mbps 10ms
+//	duplex B C 4Mbps 10ms
+//	node in1 edge
+//	node out1 edge
+//	duplex in1 A 10Mbps 1ms
+//	duplex C out1 10Mbps 1ms
+//	flow 1 in1 out1 weight=2 min=50
+//
+// Lines are independent; '#' starts a comment. Node roles are `core`
+// (receives core-router behaviour) or `edge`. `link` creates one
+// unidirectional link, `duplex` a pair. Bandwidths accept bps/kbps/Mbps/
+// Gbps suffixes; delays use Go duration syntax. Flow options: `weight=`
+// (default 1) and `min=` (minimum rate contract in packets/second).
+package topospec
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/netem"
+	"repro/internal/sim"
+	"repro/internal/topology"
+)
+
+// NodeRole classifies spec nodes.
+type NodeRole int
+
+// Node roles.
+const (
+	// RoleEdge nodes originate/terminate flows.
+	RoleEdge NodeRole = iota + 1
+	// RoleCore nodes receive core-router behaviour; links between two
+	// core nodes are the oracle's capacity constraints.
+	RoleCore
+)
+
+// String implements fmt.Stringer.
+func (r NodeRole) String() string {
+	switch r {
+	case RoleEdge:
+		return "edge"
+	case RoleCore:
+		return "core"
+	default:
+		return "unknown"
+	}
+}
+
+// NodeSpec declares one node.
+type NodeSpec struct {
+	Name string
+	Role NodeRole
+}
+
+// LinkSpec declares one unidirectional link.
+type LinkSpec struct {
+	From, To string
+	RateBps  float64
+	Delay    time.Duration
+	// QueueCap overrides the 40-packet default buffer (0 = default).
+	QueueCap int
+}
+
+// FlowSpec declares one flow slot.
+type FlowSpec struct {
+	// Index is the caller-visible flow number (must be unique and >= 1).
+	Index int
+	// Ingress / Egress name edge nodes.
+	Ingress, Egress string
+	// Weight is the rate weight (default 1).
+	Weight float64
+	// MinRate is the minimum rate contract in packets/second (0 = best
+	// effort).
+	MinRate float64
+}
+
+// Spec is a parsed topology description.
+type Spec struct {
+	Nodes []NodeSpec
+	Links []LinkSpec
+	Flows []FlowSpec
+}
+
+// ParseError reports a syntax or semantic error with its line number.
+type ParseError struct {
+	Line int
+	Msg  string
+}
+
+// Error implements error.
+func (e *ParseError) Error() string {
+	return fmt.Sprintf("topospec: line %d: %s", e.Line, e.Msg)
+}
+
+func errAt(line int, format string, args ...any) *ParseError {
+	return &ParseError{Line: line, Msg: fmt.Sprintf(format, args...)}
+}
+
+// Parse reads a spec from r.
+func Parse(r io.Reader) (*Spec, error) {
+	spec := &Spec{}
+	scanner := bufio.NewScanner(r)
+	lineNo := 0
+	for scanner.Scan() {
+		lineNo++
+		line := scanner.Text()
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		fields := strings.Fields(line)
+		if len(fields) == 0 {
+			continue
+		}
+		switch fields[0] {
+		case "node":
+			if err := spec.parseNode(lineNo, fields[1:]); err != nil {
+				return nil, err
+			}
+		case "link":
+			if err := spec.parseLink(lineNo, fields[1:], false); err != nil {
+				return nil, err
+			}
+		case "duplex":
+			if err := spec.parseLink(lineNo, fields[1:], true); err != nil {
+				return nil, err
+			}
+		case "flow":
+			if err := spec.parseFlow(lineNo, fields[1:]); err != nil {
+				return nil, err
+			}
+		default:
+			return nil, errAt(lineNo, "unknown directive %q", fields[0])
+		}
+	}
+	if err := scanner.Err(); err != nil {
+		return nil, fmt.Errorf("topospec: read: %w", err)
+	}
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	return spec, nil
+}
+
+// ParseFile reads a spec from a file.
+func ParseFile(path string) (*Spec, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("topospec: %w", err)
+	}
+	defer f.Close()
+	return Parse(f)
+}
+
+func (s *Spec) parseNode(line int, args []string) error {
+	if len(args) != 2 {
+		return errAt(line, "node wants: node <name> <edge|core>")
+	}
+	var role NodeRole
+	switch args[1] {
+	case "edge":
+		role = RoleEdge
+	case "core":
+		role = RoleCore
+	default:
+		return errAt(line, "unknown node role %q (want edge or core)", args[1])
+	}
+	s.Nodes = append(s.Nodes, NodeSpec{Name: args[0], Role: role})
+	return nil
+}
+
+func (s *Spec) parseLink(line int, args []string, duplex bool) error {
+	if len(args) < 4 {
+		return errAt(line, "link wants: link <from> <to> <rate> <delay> [queue=N]")
+	}
+	rate, err := ParseBandwidth(args[2])
+	if err != nil {
+		return errAt(line, "bad rate %q: %v", args[2], err)
+	}
+	delay, err := time.ParseDuration(args[3])
+	if err != nil {
+		return errAt(line, "bad delay %q: %v", args[3], err)
+	}
+	if delay < 0 {
+		return errAt(line, "negative delay %v", delay)
+	}
+	l := LinkSpec{From: args[0], To: args[1], RateBps: rate, Delay: delay}
+	for _, opt := range args[4:] {
+		k, v, ok := strings.Cut(opt, "=")
+		if !ok || k != "queue" {
+			return errAt(line, "unknown link option %q", opt)
+		}
+		n, err := strconv.Atoi(v)
+		if err != nil || n <= 0 {
+			return errAt(line, "bad queue size %q", v)
+		}
+		l.QueueCap = n
+	}
+	s.Links = append(s.Links, l)
+	if duplex {
+		back := l
+		back.From, back.To = l.To, l.From
+		s.Links = append(s.Links, back)
+	}
+	return nil
+}
+
+func (s *Spec) parseFlow(line int, args []string) error {
+	if len(args) < 3 {
+		return errAt(line, "flow wants: flow <index> <ingress> <egress> [weight=W] [min=M]")
+	}
+	idx, err := strconv.Atoi(args[0])
+	if err != nil || idx < 1 {
+		return errAt(line, "bad flow index %q", args[0])
+	}
+	f := FlowSpec{Index: idx, Ingress: args[1], Egress: args[2], Weight: 1}
+	for _, opt := range args[3:] {
+		k, v, ok := strings.Cut(opt, "=")
+		if !ok {
+			return errAt(line, "bad flow option %q", opt)
+		}
+		val, err := strconv.ParseFloat(v, 64)
+		if err != nil {
+			return errAt(line, "bad value in %q", opt)
+		}
+		switch k {
+		case "weight":
+			if val <= 0 {
+				return errAt(line, "weight must be positive")
+			}
+			f.Weight = val
+		case "min":
+			if val < 0 {
+				return errAt(line, "min must be non-negative")
+			}
+			f.MinRate = val
+		default:
+			return errAt(line, "unknown flow option %q", k)
+		}
+	}
+	s.Flows = append(s.Flows, f)
+	return nil
+}
+
+// ParseBandwidth converts "4Mbps", "500kbps", "1.5Gbps" or "250000bps"
+// into bits per second.
+func ParseBandwidth(s string) (float64, error) {
+	unit := 1.0
+	num := s
+	for _, suffix := range []struct {
+		name string
+		mult float64
+	}{
+		{"Gbps", 1e9}, {"Mbps", 1e6}, {"kbps", 1e3}, {"bps", 1},
+	} {
+		if strings.HasSuffix(s, suffix.name) {
+			unit = suffix.mult
+			num = strings.TrimSuffix(s, suffix.name)
+			break
+		}
+	}
+	v, err := strconv.ParseFloat(num, 64)
+	if err != nil {
+		return 0, fmt.Errorf("cannot parse bandwidth %q", s)
+	}
+	if v <= 0 {
+		return 0, fmt.Errorf("bandwidth must be positive, got %q", s)
+	}
+	return v * unit, nil
+}
+
+// Validate checks the spec's internal consistency.
+func (s *Spec) Validate() error {
+	roles := make(map[string]NodeRole, len(s.Nodes))
+	for _, n := range s.Nodes {
+		if _, dup := roles[n.Name]; dup {
+			return fmt.Errorf("topospec: duplicate node %q", n.Name)
+		}
+		roles[n.Name] = n.Role
+	}
+	for _, l := range s.Links {
+		if roles[l.From] == 0 {
+			return fmt.Errorf("topospec: link references unknown node %q", l.From)
+		}
+		if roles[l.To] == 0 {
+			return fmt.Errorf("topospec: link references unknown node %q", l.To)
+		}
+	}
+	seen := make(map[int]bool, len(s.Flows))
+	if len(s.Flows) == 0 {
+		return fmt.Errorf("topospec: no flows declared")
+	}
+	for _, f := range s.Flows {
+		if seen[f.Index] {
+			return fmt.Errorf("topospec: duplicate flow index %d", f.Index)
+		}
+		seen[f.Index] = true
+		if roles[f.Ingress] != RoleEdge {
+			return fmt.Errorf("topospec: flow %d ingress %q is not an edge node", f.Index, f.Ingress)
+		}
+		if roles[f.Egress] != RoleEdge {
+			return fmt.Errorf("topospec: flow %d egress %q is not an edge node", f.Index, f.Egress)
+		}
+	}
+	return nil
+}
+
+// Weights extracts the flow-index -> weight map.
+func (s *Spec) Weights() map[int]float64 {
+	out := make(map[int]float64, len(s.Flows))
+	for _, f := range s.Flows {
+		out[f.Index] = f.Weight
+	}
+	return out
+}
+
+// MinRates extracts the flow-index -> contract map (only non-zero
+// entries).
+func (s *Spec) MinRates() map[int]float64 {
+	out := make(map[int]float64)
+	for _, f := range s.Flows {
+		if f.MinRate > 0 {
+			out[f.Index] = f.MinRate
+		}
+	}
+	return out
+}
+
+// Build constructs the spec's cloud on the given scheduler: nodes, links,
+// routes, flow placements (with routed core-link incidence for the
+// max-min oracle), and the list of core nodes.
+func (s *Spec) Build(sched *sim.Scheduler) (*topology.Cloud, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	net := netem.New(sched)
+	roles := make(map[string]NodeRole, len(s.Nodes))
+	for _, n := range s.Nodes {
+		if _, err := net.AddNode(n.Name); err != nil {
+			return nil, err
+		}
+		roles[n.Name] = n.Role
+	}
+	coreLinks := make(map[string]*netem.Link)
+	for _, l := range s.Links {
+		var q netem.Discipline
+		if l.QueueCap > 0 {
+			q = netem.NewDropTail(l.QueueCap)
+		}
+		link, err := net.AddLink(l.From, l.To, netem.LinkConfig{
+			RateBps: l.RateBps, Delay: l.Delay, Queue: q,
+		})
+		if err != nil {
+			return nil, err
+		}
+		if roles[l.From] == RoleCore && roles[l.To] == RoleCore {
+			coreLinks[link.Name()] = link
+		}
+	}
+	if err := net.ComputeRoutes(); err != nil {
+		return nil, err
+	}
+
+	flows := make([]FlowSpec, len(s.Flows))
+	copy(flows, s.Flows)
+	sort.Slice(flows, func(i, j int) bool { return flows[i].Index < flows[j].Index })
+
+	placements := make([]topology.Placement, 0, len(flows))
+	for _, f := range flows {
+		path, err := net.Path(f.Ingress, f.Egress)
+		if err != nil {
+			return nil, fmt.Errorf("topospec: flow %d: %w", f.Index, err)
+		}
+		var crossed []string
+		for i := 0; i+1 < len(path); i++ {
+			name := path[i] + "->" + path[i+1]
+			if _, isCore := coreLinks[name]; isCore {
+				crossed = append(crossed, name)
+			}
+		}
+		if len(crossed) == 0 {
+			// The oracle needs at least one constraint per flow; use the
+			// flow's tightest link along the path.
+			crossed = []string{tightestLink(net, path)}
+			if _, tracked := coreLinks[crossed[0]]; !tracked {
+				for _, l := range net.Links() {
+					if l.Name() == crossed[0] {
+						coreLinks[crossed[0]] = l
+					}
+				}
+			}
+		}
+		placements = append(placements, topology.Placement{
+			Index:     f.Index,
+			Weight:    f.Weight,
+			Ingress:   f.Ingress,
+			Egress:    f.Egress,
+			CoreLinks: crossed,
+			Hops:      len(path) - 1,
+		})
+	}
+
+	var coreNodes []string
+	for _, n := range s.Nodes {
+		if n.Role == RoleCore {
+			coreNodes = append(coreNodes, n.Name)
+		}
+	}
+	return &topology.Cloud{
+		Net:        net,
+		Placements: placements,
+		CoreLinks:  coreLinks,
+		CoreNodes:  coreNodes,
+	}, nil
+}
+
+// tightestLink returns the name of the lowest-rate link on the path.
+func tightestLink(net *netem.Network, path []string) string {
+	best := ""
+	bestRate := 0.0
+	for i := 0; i+1 < len(path); i++ {
+		l := net.Node(path[i]).LinkTo(path[i+1])
+		if l == nil {
+			continue
+		}
+		if best == "" || l.RateBps() < bestRate {
+			best = l.Name()
+			bestRate = l.RateBps()
+		}
+	}
+	return best
+}

@@ -1,0 +1,134 @@
+// Package trace renders experiment results as tabular text: CSV files with
+// one column per flow (directly plottable, matching the layout of the
+// paper's figures) and human-readable summaries.
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/metrics"
+)
+
+// SeriesKind selects which per-flow series to export.
+type SeriesKind int
+
+// Series kinds.
+const (
+	// SeriesAllowed is the edge's allowed rate b_g(f) — the paper's
+	// "alloted rate" axis (Figures 3, 5–10).
+	SeriesAllowed SeriesKind = iota + 1
+	// SeriesReceived is the egress goodput.
+	SeriesReceived
+	// SeriesCumulative is the cumulative delivered-packet count
+	// (Figure 4).
+	SeriesCumulative
+)
+
+// String implements fmt.Stringer.
+func (k SeriesKind) String() string {
+	switch k {
+	case SeriesAllowed:
+		return "allowed"
+	case SeriesReceived:
+		return "received"
+	case SeriesCumulative:
+		return "cumulative"
+	default:
+		return fmt.Sprintf("SeriesKind(%d)", int(k))
+	}
+}
+
+func seriesOf(f experiments.FlowResult, kind SeriesKind) metrics.Series {
+	switch kind {
+	case SeriesReceived:
+		return f.ReceiveRate
+	case SeriesCumulative:
+		return f.Cumulative
+	default:
+		return f.AllowedRate
+	}
+}
+
+// WriteCSV writes "time_s,flow1,flow2,..." rows for the chosen series. Rows
+// are emitted at the result's sample-window granularity; missing samples
+// render as empty cells.
+func WriteCSV(w io.Writer, res *experiments.Result, kind SeriesKind) error {
+	if res == nil {
+		return fmt.Errorf("trace: nil result")
+	}
+	header := "time_s"
+	for _, f := range res.Flows {
+		header += fmt.Sprintf(",flow%d", f.Index)
+	}
+	if _, err := fmt.Fprintln(w, header); err != nil {
+		return err
+	}
+
+	// Collect the union of sample times.
+	timeSet := make(map[time.Duration]bool)
+	for _, f := range res.Flows {
+		for _, s := range seriesOf(f, kind) {
+			timeSet[s.At] = true
+		}
+	}
+	times := make([]time.Duration, 0, len(timeSet))
+	for t := range timeSet {
+		times = append(times, t)
+	}
+	sort.Slice(times, func(i, j int) bool { return times[i] < times[j] })
+
+	// Index samples per flow for O(1) row assembly.
+	perFlow := make([]map[time.Duration]float64, len(res.Flows))
+	for i, f := range res.Flows {
+		m := make(map[time.Duration]float64)
+		for _, s := range seriesOf(f, kind) {
+			m[s.At] = s.Value
+		}
+		perFlow[i] = m
+	}
+
+	for _, t := range times {
+		row := strconv.FormatFloat(t.Seconds(), 'f', 3, 64)
+		for i := range res.Flows {
+			row += ","
+			if v, ok := perFlow[i][t]; ok {
+				row += strconv.FormatFloat(v, 'f', 3, 64)
+			}
+		}
+		if _, err := fmt.Fprintln(w, row); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteSummary writes a human-readable per-flow summary table: weight,
+// expected steady-state rate (full active set), mean allowed rate over the
+// final quarter of the run, delivered packets, and losses.
+func WriteSummary(w io.Writer, res *experiments.Result) error {
+	if res == nil {
+		return fmt.Errorf("trace: nil result")
+	}
+	if _, err := fmt.Fprintf(w, "scenario %s (%s): %d flows, %d events, %d total losses\n",
+		res.Name, res.Scheme, len(res.Flows), res.Events, res.TotalLosses); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%-6s %-8s %-12s %-14s %-10s %-8s\n",
+		"flow", "weight", "expected", "mean(last25%)", "delivered", "losses"); err != nil {
+		return err
+	}
+	tail := res.Duration - res.Duration/4
+	for _, f := range res.Flows {
+		mean := f.AllowedRate.MeanOver(tail, res.Duration)
+		if _, err := fmt.Fprintf(w, "%-6d %-8.1f %-12.2f %-14.2f %-10d %-8d\n",
+			f.Index, f.Weight, res.ExpectedFullSet[f.Index], mean, f.Delivered, f.Losses); err != nil {
+			return err
+		}
+	}
+	return nil
+}

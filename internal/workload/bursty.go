@@ -1,0 +1,167 @@
+package workload
+
+import (
+	"time"
+
+	"repro/internal/packet"
+	"repro/internal/sim"
+)
+
+// Pacer computes the gap to the next emission given the current shaping
+// rate. The default (nil) is constant-bit-rate pacing: exactly 1/rate.
+type Pacer func(rate float64) time.Duration
+
+// PoissonPacer returns exponentially distributed gaps with mean 1/rate —
+// a Poisson packet arrival process, used by the traffic-sensitivity
+// experiments (the paper's F_n derivation assumes Poisson arrivals; §3.1
+// reports the formula "works reasonably well even if the Poisson traffic
+// assumptions do not hold", which we probe both ways).
+func PoissonPacer(rng *sim.RNG) Pacer {
+	return func(rate float64) time.Duration {
+		return time.Duration(rng.ExpFloat64() / rate * float64(time.Second))
+	}
+}
+
+// SetPacer installs a pacing discipline; nil restores CBR. It takes effect
+// from the next emission.
+func (s *Source) SetPacer(p Pacer) { s.pacer = p }
+
+// gap computes the next inter-emission gap.
+func (s *Source) gap() time.Duration {
+	if s.pacer != nil {
+		return s.pacer(s.rate)
+	}
+	return time.Duration(float64(time.Second) / s.rate)
+}
+
+// OnOff modulates a fixed-rate unresponsive packet stream with exponential
+// ON and OFF periods — bursty cross traffic that does not react to
+// congestion (the sensitivity scenarios use it to stress the marker
+// feedback loop with non-adaptive bursts).
+type OnOff struct {
+	sched  *sim.Scheduler
+	rng    *sim.RNG
+	inject func(*packet.Packet)
+
+	flow      packet.FlowID
+	dst       string
+	sizeBytes int
+	rate      float64
+	meanOn    time.Duration
+	meanOff   time.Duration
+
+	on      bool
+	active  bool
+	seq     int64
+	emitEv  *sim.Event
+	phaseEv *sim.Event
+}
+
+// OnOffConfig parameterizes an OnOff stream.
+type OnOffConfig struct {
+	Flow packet.FlowID
+	// Dst is the node the packets are addressed to.
+	Dst string
+	// SizeBytes defaults to the paper's 1 KB.
+	SizeBytes int
+	// Rate is the emission rate while ON, packets/second.
+	Rate float64
+	// MeanOn / MeanOff are the exponential period means.
+	MeanOn  time.Duration
+	MeanOff time.Duration
+	// Inject delivers packets into the network.
+	Inject func(*packet.Packet)
+}
+
+// NewOnOff returns an inactive on/off stream.
+func NewOnOff(sched *sim.Scheduler, rng *sim.RNG, cfg OnOffConfig) *OnOff {
+	size := cfg.SizeBytes
+	if size <= 0 {
+		size = packet.DefaultSizeBytes
+	}
+	return &OnOff{
+		sched:     sched,
+		rng:       rng,
+		inject:    cfg.Inject,
+		flow:      cfg.Flow,
+		dst:       cfg.Dst,
+		sizeBytes: size,
+		rate:      cfg.Rate,
+		meanOn:    cfg.MeanOn,
+		meanOff:   cfg.MeanOff,
+	}
+}
+
+// Sent reports the number of packets emitted.
+func (o *OnOff) Sent() int64 { return o.seq }
+
+// MeanRate reports the long-run average rate: rate · on/(on+off).
+func (o *OnOff) MeanRate() float64 {
+	total := o.meanOn + o.meanOff
+	if total <= 0 {
+		return o.rate
+	}
+	return o.rate * float64(o.meanOn) / float64(total)
+}
+
+// Start begins the on/off cycle (starting ON).
+func (o *OnOff) Start() {
+	if o.active {
+		return
+	}
+	o.active = true
+	o.enterOn()
+}
+
+// Stop halts emission.
+func (o *OnOff) Stop() {
+	o.active = false
+	if o.emitEv != nil {
+		o.emitEv.Cancel()
+		o.emitEv = nil
+	}
+	if o.phaseEv != nil {
+		o.phaseEv.Cancel()
+		o.phaseEv = nil
+	}
+}
+
+func (o *OnOff) expDuration(mean time.Duration) time.Duration {
+	if mean <= 0 {
+		return 0
+	}
+	return time.Duration(o.rng.ExpFloat64() * float64(mean))
+}
+
+func (o *OnOff) enterOn() {
+	if !o.active {
+		return
+	}
+	o.on = true
+	o.emit()
+	o.phaseEv = o.sched.MustAfter(o.expDuration(o.meanOn), func() { o.enterOff() })
+}
+
+func (o *OnOff) enterOff() {
+	if !o.active {
+		return
+	}
+	o.on = false
+	if o.emitEv != nil {
+		o.emitEv.Cancel()
+		o.emitEv = nil
+	}
+	o.phaseEv = o.sched.MustAfter(o.expDuration(o.meanOff), func() { o.enterOn() })
+}
+
+func (o *OnOff) emit() {
+	if !o.active || !o.on || o.rate <= 0 {
+		return
+	}
+	p := packet.New(o.flow, o.dst, o.seq, o.sched.Now())
+	p.SizeBytes = o.sizeBytes
+	o.seq++
+	o.inject(p)
+	gap := time.Duration(float64(time.Second) / o.rate)
+	o.emitEv = o.sched.MustAfter(gap, o.emit)
+}

@@ -1,0 +1,29 @@
+package workload
+
+import (
+	"hash/fnv"
+	"time"
+)
+
+// EpochPhase resolves the initial tick offset for a node's periodic epoch
+// process. A zero configured offset derives a deterministic per-node phase
+// from the node name, spreading epoch boundaries across the cloud the way
+// independent router clocks are spread in practice (lock-stepped epochs
+// produce artificial synchronized rate oscillation). Configured offsets are
+// taken modulo the epoch.
+func EpochPhase(configured, epoch time.Duration, nodeName string) time.Duration {
+	if epoch <= 0 {
+		return 0
+	}
+	if configured != 0 {
+		off := configured % epoch
+		if off < 0 {
+			off += epoch
+		}
+		return off
+	}
+	h := fnv.New64a()
+	// fnv.Write never fails.
+	_, _ = h.Write([]byte(nodeName))
+	return time.Duration(h.Sum64() % uint64(epoch))
+}

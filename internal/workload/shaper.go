@@ -1,0 +1,171 @@
+package workload
+
+import (
+	"time"
+
+	"repro/internal/packet"
+	"repro/internal/sim"
+)
+
+// Shaper is a rate-limited queue for packets arriving from end hosts: the
+// edge router's per-flow traffic shaper ("each ingress edge router ...
+// shapes the flow's traffic according to its current b_g(f)", paper §2.2).
+// Unlike Source, which models a backlogged flow generating its own
+// packets, a Shaper releases externally offered packets at the allowed
+// rate and drops on overflow — "drop[ping] packets from ill behaved flows
+// at the edges of the network" (§6).
+type Shaper struct {
+	sched  *sim.Scheduler
+	inject func(*packet.Packet)
+
+	// Decorate, when non-nil, is applied to each packet at release time
+	// (marker piggybacking happens on release so labels reflect the
+	// current rate).
+	Decorate func(*packet.Packet)
+	// OnDrop, when non-nil, observes packets dropped at the shaper.
+	OnDrop func(*packet.Packet)
+
+	capacity int
+	queue    []*packet.Packet
+
+	rate      float64
+	active    bool
+	lastEmit  time.Duration
+	emitted   bool
+	pending   *sim.Event
+	released  int64
+	dropped   int64
+	sizeBytes int
+}
+
+// ShaperConfig parameterizes a Shaper.
+type ShaperConfig struct {
+	// Capacity bounds the shaping queue in packets (<= 0 defaults to 64).
+	Capacity int
+	// Inject delivers released packets into the network.
+	Inject func(*packet.Packet)
+}
+
+// NewShaper returns an inactive shaper; call Start.
+func NewShaper(sched *sim.Scheduler, cfg ShaperConfig) *Shaper {
+	capacity := cfg.Capacity
+	if capacity <= 0 {
+		capacity = 64
+	}
+	return &Shaper{
+		sched:    sched,
+		inject:   cfg.Inject,
+		capacity: capacity,
+		queue:    make([]*packet.Packet, 0, capacity),
+	}
+}
+
+// Rate reports the current release rate (packets/second).
+func (s *Shaper) Rate() float64 { return s.rate }
+
+// Active reports whether the shaper is started.
+func (s *Shaper) Active() bool { return s.active }
+
+// QueueLen reports the packets currently waiting.
+func (s *Shaper) QueueLen() int { return len(s.queue) }
+
+// Released reports the packets released into the network so far.
+func (s *Shaper) Released() int64 { return s.released }
+
+// Dropped reports the packets dropped at the shaper (queue overflow or
+// offers while stopped).
+func (s *Shaper) Dropped() int64 { return s.dropped }
+
+// Start activates the shaper at the given rate.
+func (s *Shaper) Start(rate float64) {
+	s.active = true
+	s.emitted = false
+	s.rate = 0
+	s.SetRate(rate)
+}
+
+// Stop deactivates the shaper and discards the backlog.
+func (s *Shaper) Stop() {
+	s.active = false
+	if s.pending != nil {
+		s.pending.Cancel()
+		s.pending = nil
+	}
+	for _, p := range s.queue {
+		s.drop(p)
+	}
+	s.queue = s.queue[:0]
+}
+
+// Offer enqueues a packet for shaped release. It reports false (and counts
+// a drop) when the shaper is stopped or its queue is full.
+func (s *Shaper) Offer(p *packet.Packet) bool {
+	if !s.active || len(s.queue) >= s.capacity {
+		s.drop(p)
+		return false
+	}
+	s.queue = append(s.queue, p)
+	s.schedule()
+	return true
+}
+
+// SetRate changes the release rate, token-bucket style (the next release
+// happens at lastRelease + 1/rate, clamped to now).
+func (s *Shaper) SetRate(rate float64) {
+	if rate < 0 {
+		rate = 0
+	}
+	s.rate = rate
+	if !s.active {
+		return
+	}
+	if s.pending != nil {
+		s.pending.Cancel()
+		s.pending = nil
+	}
+	s.schedule()
+}
+
+func (s *Shaper) drop(p *packet.Packet) {
+	s.dropped++
+	if s.OnDrop != nil {
+		s.OnDrop(p)
+	}
+}
+
+// schedule arms the next release when there is work and a positive rate.
+func (s *Shaper) schedule() {
+	if s.pending != nil || !s.active || s.rate <= 0 || len(s.queue) == 0 {
+		return
+	}
+	next := s.sched.Now()
+	if s.emitted {
+		gap := time.Duration(float64(time.Second) / s.rate)
+		if t := s.lastEmit + gap; t > next {
+			next = t
+		}
+	}
+	s.pending = s.sched.MustAt(next, s.release)
+}
+
+func (s *Shaper) release() {
+	s.pending = nil
+	if !s.active || s.rate <= 0 || len(s.queue) == 0 {
+		return
+	}
+	p := s.queue[0]
+	s.queue[0] = nil
+	s.queue = s.queue[1:]
+	if len(s.queue) == 0 {
+		s.queue = s.queue[:0:cap(s.queue)]
+	}
+	now := s.sched.Now()
+	s.lastEmit = now
+	s.emitted = true
+	s.released++
+	if s.Decorate != nil {
+		s.Decorate(p)
+	}
+	s.inject(p)
+	s.schedule()
+}

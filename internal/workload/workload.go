@@ -1,0 +1,174 @@
+// Package workload provides the traffic-generation building blocks shared by
+// both schemes: a rate-shaped packet source (the paper's flows "always have
+// packets to send", i.e. backlogged sources shaped to the allowed rate
+// b_g(f)) and activity schedules for the dynamic-flow scenarios.
+package workload
+
+import (
+	"time"
+
+	"repro/internal/packet"
+	"repro/internal/sim"
+)
+
+// Source is a backlogged, rate-shaped packet emitter for one flow. The edge
+// router owns it: the rate tracks the flow's allowed transmission rate
+// b_g(f), and Decorate lets the owning scheme stamp outgoing packets
+// (Corelite marker piggybacking, CSFQ labels).
+type Source struct {
+	sched  *sim.Scheduler
+	inject func(*packet.Packet)
+
+	flow      packet.FlowID
+	dst       string
+	sizeBytes int
+
+	// Decorate, when non-nil, is called on every packet immediately
+	// before injection.
+	Decorate func(*packet.Packet)
+
+	rate     float64 // packets per second; 0 pauses emission
+	pacer    Pacer   // nil = CBR
+	active   bool
+	seq      int64
+	lastEmit time.Duration
+	emitted  bool // whether lastEmit is meaningful
+	pending  *sim.Event
+}
+
+// SourceConfig parameterizes a Source.
+type SourceConfig struct {
+	Flow packet.FlowID
+	// Dst is the egress node packets are addressed to.
+	Dst string
+	// SizeBytes is the packet size; 0 defaults to the paper's 1 KB.
+	SizeBytes int
+	// Inject delivers an emitted packet into the network (typically the
+	// ingress node's Inject method).
+	Inject func(*packet.Packet)
+}
+
+// NewSource returns an inactive source; call Start to begin emission.
+func NewSource(sched *sim.Scheduler, cfg SourceConfig) *Source {
+	size := cfg.SizeBytes
+	if size <= 0 {
+		size = packet.DefaultSizeBytes
+	}
+	return &Source{
+		sched:     sched,
+		inject:    cfg.Inject,
+		flow:      cfg.Flow,
+		dst:       cfg.Dst,
+		sizeBytes: size,
+	}
+}
+
+// Flow reports the source's flow id.
+func (s *Source) Flow() packet.FlowID { return s.flow }
+
+// Rate reports the current shaping rate in packets per second.
+func (s *Source) Rate() float64 { return s.rate }
+
+// Active reports whether the source is started.
+func (s *Source) Active() bool { return s.active }
+
+// Sent reports the number of packets emitted so far.
+func (s *Source) Sent() int64 { return s.seq }
+
+// Start activates the source at the given shaping rate. The first packet is
+// emitted immediately (the flow is backlogged).
+func (s *Source) Start(rate float64) {
+	s.active = true
+	s.emitted = false
+	s.rate = 0
+	s.SetRate(rate)
+}
+
+// Stop deactivates the source and cancels any pending emission.
+func (s *Source) Stop() {
+	s.active = false
+	s.cancelPending()
+}
+
+// SetRate changes the shaping rate. The next emission time is recomputed as
+// lastEmit + 1/rate (clamped to now), modelling a token bucket whose refill
+// rate just changed; a zero or negative rate pauses emission until the next
+// positive SetRate.
+func (s *Source) SetRate(rate float64) {
+	if rate < 0 {
+		rate = 0
+	}
+	s.rate = rate
+	if !s.active {
+		return
+	}
+	s.cancelPending()
+	if rate == 0 {
+		return
+	}
+	next := s.sched.Now()
+	if s.emitted {
+		if t := s.lastEmit + s.gap(); t > next {
+			next = t
+		}
+	}
+	s.pending = s.sched.MustAt(next, s.emit)
+}
+
+func (s *Source) cancelPending() {
+	if s.pending != nil {
+		s.pending.Cancel()
+		s.pending = nil
+	}
+}
+
+func (s *Source) emit() {
+	s.pending = nil
+	if !s.active || s.rate <= 0 {
+		return
+	}
+	now := s.sched.Now()
+	p := packet.New(s.flow, s.dst, s.seq, now)
+	p.SizeBytes = s.sizeBytes
+	s.seq++
+	s.lastEmit = now
+	s.emitted = true
+	if s.Decorate != nil {
+		s.Decorate(p)
+	}
+	s.inject(p)
+	s.pending = s.sched.MustAfter(s.gap(), s.emit)
+}
+
+// Interval is a half-open activity window [Start, Stop). A zero Stop means
+// "until the end of the simulation".
+type Interval struct {
+	Start time.Duration
+	Stop  time.Duration
+}
+
+// Schedule is a flow's list of activity windows in increasing order.
+type Schedule []Interval
+
+// Always returns a schedule active from t=0 for the whole run.
+func Always() Schedule { return Schedule{{}} }
+
+// Window returns a single-interval schedule.
+func Window(start, stop time.Duration) Schedule {
+	return Schedule{{Start: start, Stop: stop}}
+}
+
+// ActiveAt reports whether the schedule is active at time t, given the run
+// duration (used to resolve open-ended intervals).
+func (s Schedule) ActiveAt(t, duration time.Duration) bool {
+	for _, iv := range s {
+		stop := iv.Stop
+		if stop == 0 {
+			stop = duration
+		}
+		if t >= iv.Start && t < stop {
+			return true
+		}
+	}
+	return false
+}
