@@ -1,0 +1,30 @@
+# Developer targets for the Corelite reproduction.
+#
+#   make         -> build + vet + test
+#   make race    -> race-detector pass over the concurrent packages
+#   make check   -> everything (the documented verify flow)
+
+GO ?= go
+
+.PHONY: all build test race vet bench check
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# The internal/run worker pool is the repository's first concurrent code;
+# it and its primary caller must stay race-clean.
+race:
+	$(GO) test -race ./internal/run ./internal/experiments
+
+vet:
+	$(GO) vet ./...
+
+bench:
+	$(GO) test -bench=. -benchmem
+
+check: build vet test race

@@ -12,6 +12,8 @@
 package corelite_test
 
 import (
+	"context"
+	"runtime"
 	"testing"
 	"time"
 
@@ -60,19 +62,56 @@ func reportConvergence(b *testing.B, res *corelite.Result, tol float64) {
 	}
 }
 
+// runScenario executes b.N seed replicas of the scenario through the run
+// pool (single worker, so per-figure timings stay comparable across
+// releases) and returns the last result.
 func runScenario(b *testing.B, sc corelite.Scenario) *corelite.Result {
 	b.Helper()
 	var res *corelite.Result
-	var err error
 	for i := 0; i < b.N; i++ {
 		sc.Seed = int64(i + 1)
-		res, err = corelite.Run(sc)
+		results, err := corelite.RunBatch(context.Background(), 1,
+			[]corelite.Job{{Name: sc.Name, Scenario: sc}})
 		if err != nil {
 			b.Fatalf("run %s: %v", sc.Name, err)
 		}
+		if results[0].Err != nil {
+			b.Fatalf("run %s: %v", sc.Name, results[0].Err)
+		}
+		res = results[0].Output
 	}
 	return res
 }
+
+// benchFigureBatch regenerates the full Figures 3-10 batch on the given
+// worker count; comparing the Serial and Parallel variants measures the
+// pool's wall-clock speedup on multicore hardware.
+func benchFigureBatch(b *testing.B, workers int) {
+	b.Helper()
+	var events uint64
+	for i := 0; i < b.N; i++ {
+		results, err := corelite.RunBatch(context.Background(), workers, corelite.FigureJobs(1))
+		if err != nil {
+			b.Fatalf("batch: %v", err)
+		}
+		if err := corelite.FirstJobErr(results); err != nil {
+			b.Fatal(err)
+		}
+		events = 0
+		for _, r := range results {
+			events += r.Stats.Events
+		}
+	}
+	b.ReportMetric(float64(events)/b.Elapsed().Seconds()/1e6*float64(b.N), "Mevents/s")
+	b.ReportMetric(float64(workers), "workers")
+}
+
+// BenchmarkBatchFiguresSerial runs the whole evaluation batch on one
+// worker — the pre-pool baseline.
+func BenchmarkBatchFiguresSerial(b *testing.B) { benchFigureBatch(b, 1) }
+
+// BenchmarkBatchFiguresParallel runs it on GOMAXPROCS workers.
+func BenchmarkBatchFiguresParallel(b *testing.B) { benchFigureBatch(b, runtime.GOMAXPROCS(0)) }
 
 // BenchmarkFig3CoreliteDynamicsRate regenerates Figure 3: 20 flows, three
 // bottlenecks, flows 1/9/10/11/16 active only in [250s, 500s); the series

@@ -1,21 +1,27 @@
-// Command coresim runs a single Corelite or CSFQ scenario on the paper's
+// Command coresim runs a Corelite or CSFQ scenario on the paper's
 // evaluation topology (or a single-bottleneck dumbbell) and emits the
-// measured series as CSV plus a per-flow summary.
+// measured series as CSV plus a per-flow summary. With -runs N it executes
+// N seed replicas of the scenario on a worker pool (each replica gets a
+// deterministically derived seed) and reports them in run order.
 //
 // Examples:
 //
 //	coresim -scheme corelite -flows 10 -duration 80s -summary
 //	coresim -scheme csfq -flows 2 -dumbbell -weights 1:1,2:2 -out run
+//	coresim -flows 10 -runs 8 -parallel 4 -out batch
 //
 // With -out PREFIX the tool writes PREFIX-allowed.csv,
-// PREFIX-received.csv and PREFIX-cumulative.csv.
+// PREFIX-received.csv and PREFIX-cumulative.csv (PREFIX-rN-… per replica
+// when -runs > 1).
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"runtime"
 	"strconv"
 	"strings"
 	"time"
@@ -47,9 +53,17 @@ func run(args []string, stdout io.Writer) error {
 		out      = fs.String("out", "", "output file prefix for CSV series (empty = no CSV)")
 		traceOut = fs.String("trace", "", "write an ns-2-style packet event trace to this file")
 		summary  = fs.Bool("summary", true, "print the per-flow summary")
+		runs     = fs.Int("runs", 1, "seed replicas of the scenario (derived per-run seeds)")
+		parallel = fs.Int("parallel", runtime.GOMAXPROCS(0), "concurrent replicas (1 = serial)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *runs < 1 {
+		return fmt.Errorf("-runs %d: want at least 1", *runs)
+	}
+	if *traceOut != "" && *runs > 1 {
+		return fmt.Errorf("-trace supports a single run (got -runs %d)", *runs)
 	}
 
 	sc := corelite.Scenario{
@@ -95,28 +109,58 @@ func run(args []string, stdout io.Writer) error {
 		sc.Tracer = &corelite.WriterTracer{W: traceFile}
 	}
 
-	res, err := corelite.Run(sc)
+	// One job per seed replica. The first replica runs the scenario
+	// exactly as specified; later replicas derive decorrelated seeds so
+	// a batch explores seed sensitivity reproducibly.
+	jobs := make([]corelite.Job, *runs)
+	for i := range jobs {
+		rsc := sc
+		name := sc.Name
+		if *runs > 1 {
+			name = fmt.Sprintf("%s-r%d", sc.Name, i+1)
+			rsc.Name = name
+			if i > 0 {
+				rsc.Seed = corelite.DeriveSeed(*seed, name)
+			}
+		}
+		jobs[i] = corelite.Job{Name: name, Scenario: rsc}
+	}
+
+	results, err := corelite.RunBatch(context.Background(), *parallel, jobs)
 	if err != nil {
 		return err
 	}
 	if traceFile != nil {
 		fmt.Fprintln(stdout, "wrote", *traceOut)
 	}
-	if *summary {
-		if err := corelite.WriteSummary(stdout, res); err != nil {
-			return err
+	for i, r := range results {
+		if r.Err != nil {
+			return fmt.Errorf("run %s: %w", r.Job.Name, r.Err)
 		}
-	}
-	if *out != "" {
-		kinds := []trace.SeriesKind{
-			corelite.SeriesAllowed, corelite.SeriesReceived, corelite.SeriesCumulative,
+		if *runs > 1 {
+			fmt.Fprintf(stdout, "run %s (seed %d): %d events, %d losses\n",
+				r.Job.Name, jobs[i].Scenario.Seed, r.Stats.Events, r.Stats.Dropped)
 		}
-		for _, kind := range kinds {
-			path := fmt.Sprintf("%s-%s.csv", *out, kind)
-			if err := writeCSVFile(path, res, kind); err != nil {
+		if *summary {
+			if err := corelite.WriteSummary(stdout, r.Output); err != nil {
 				return err
 			}
-			fmt.Fprintln(stdout, "wrote", path)
+		}
+		if *out != "" {
+			prefix := *out
+			if *runs > 1 {
+				prefix = fmt.Sprintf("%s-r%d", *out, i+1)
+			}
+			kinds := []trace.SeriesKind{
+				corelite.SeriesAllowed, corelite.SeriesReceived, corelite.SeriesCumulative,
+			}
+			for _, kind := range kinds {
+				path := fmt.Sprintf("%s-%s.csv", prefix, kind)
+				if err := writeCSVFile(path, r.Output, kind); err != nil {
+					return err
+				}
+				fmt.Fprintln(stdout, "wrote", path)
+			}
 		}
 	}
 	return nil

@@ -1,8 +1,11 @@
 package main
 
 import (
+	"bytes"
+	"fmt"
 	"os"
 	"path/filepath"
+	"strconv"
 	"strings"
 	"testing"
 )
@@ -51,6 +54,73 @@ func TestRunEndToEnd(t *testing.T) {
 		if !strings.HasPrefix(string(data), "time_s,flow1,flow2") {
 			t.Errorf("%s header wrong", path)
 		}
+	}
+}
+
+// TestRunSeedReplicas checks the -runs batch: per-run summaries in run
+// order, suffixed CSVs, derived seeds, and identical output for any
+// -parallel value.
+func TestRunSeedReplicas(t *testing.T) {
+	outs := make(map[string]string)
+	csvs := make(map[string][]byte)
+	for _, par := range []string{"1", "4"} {
+		dir := t.TempDir()
+		prefix := filepath.Join(dir, "batch")
+		var sb strings.Builder
+		err := run([]string{
+			"-flows", "2", "-dumbbell", "-duration", "4s",
+			"-runs", "3", "-parallel", par, "-out", prefix,
+		}, &sb)
+		if err != nil {
+			t.Fatalf("run -parallel %s: %v", par, err)
+		}
+		// Strip the temp-dir paths so outputs are comparable.
+		outs[par] = strings.ReplaceAll(sb.String(), dir, "")
+		for i := 1; i <= 3; i++ {
+			path := fmt.Sprintf("%s-r%d-allowed.csv", prefix, i)
+			data, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing replica CSV: %v", err)
+			}
+			csvs[par+strconv.Itoa(i)] = data
+		}
+	}
+	if outs["1"] != outs["4"] {
+		t.Errorf("replica output differs between -parallel 1 and 4:\n%s\n---\n%s", outs["1"], outs["4"])
+	}
+	for i := 1; i <= 3; i++ {
+		if !bytes.Equal(csvs["1"+strconv.Itoa(i)], csvs["4"+strconv.Itoa(i)]) {
+			t.Errorf("replica %d CSV differs between -parallel 1 and 4", i)
+		}
+	}
+	// Replicas explore different seeds: r1 keeps the base seed (1),
+	// r2/r3 derive new ones; the per-run lines print them.
+	if !strings.Contains(outs["1"], "run coresim-r1 (seed 1)") {
+		t.Errorf("replica 1 lost the base seed:\n%s", outs["1"])
+	}
+	seeds := make(map[string]bool)
+	for _, line := range strings.Split(outs["1"], "\n") {
+		if strings.HasPrefix(line, "run coresim-r") {
+			open := strings.Index(line, "(seed ")
+			close := strings.Index(line, ")")
+			if open < 0 || close < open {
+				t.Fatalf("malformed run line %q", line)
+			}
+			seeds[line[open:close]] = true
+		}
+	}
+	if len(seeds) != 3 {
+		t.Errorf("want 3 distinct derived seeds, got %d:\n%s", len(seeds), outs["1"])
+	}
+}
+
+func TestRunTraceRequiresSingleRun(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-runs", "2", "-trace", "x.tr"}, &sb); err == nil {
+		t.Error("-trace with -runs 2 accepted")
+	}
+	if err := run([]string{"-runs", "0"}, &sb); err == nil {
+		t.Error("-runs 0 accepted")
 	}
 }
 

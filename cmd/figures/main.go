@@ -1,16 +1,23 @@
 // Command figures regenerates the data behind every figure of the paper's
 // evaluation section (Figures 3–10) and writes one CSV per figure plus a
-// comparison summary.
+// comparison summary. Figures are independent simulations, so the batch
+// runs on a worker pool; output is byte-identical for any -parallel value
+// because results are keyed by figure, not by completion order.
 //
-//	figures -outdir out           # all figures
-//	figures -fig 5 -fig 6         # just the startup comparison
+//	figures -outdir out                   # all figures, GOMAXPROCS workers
+//	figures -outdir out -parallel 1       # serial
+//	figures -fig 5 -fig 6                 # just the startup comparison
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
+	"runtime"
+	"sort"
 	"strconv"
 	"time"
 
@@ -18,29 +25,30 @@ import (
 	"repro/internal/trace"
 )
 
-// figure binds a paper figure number to its runner and the series it plots.
+// figure binds a paper figure number to its scenario spec and the series
+// it plots.
 type figure struct {
-	num    int
-	kind   trace.SeriesKind
-	runFn  func(int64) (*corelite.Result, error)
-	legend string
+	num      int
+	kind     trace.SeriesKind
+	scenario func(int64) corelite.Scenario
+	legend   string
 }
 
 func figures() []figure {
 	return []figure{
-		{3, corelite.SeriesAllowed, corelite.RunFig3, "Corelite instantaneous rate, network dynamics (§4.1)"},
-		{4, corelite.SeriesCumulative, corelite.RunFig4, "Corelite cumulative service, network dynamics (§4.1)"},
-		{5, corelite.SeriesAllowed, corelite.RunFig5, "Corelite instantaneous rate, simultaneous start (§4.2)"},
-		{6, corelite.SeriesAllowed, corelite.RunFig6, "CSFQ instantaneous rate, simultaneous start (§4.2)"},
-		{7, corelite.SeriesAllowed, corelite.RunFig7, "Corelite instantaneous rate, staggered start (§4.3)"},
-		{8, corelite.SeriesAllowed, corelite.RunFig8, "CSFQ instantaneous rate, staggered start (§4.3)"},
-		{9, corelite.SeriesAllowed, corelite.RunFig9, "Corelite instantaneous rate, churn (§4.3)"},
-		{10, corelite.SeriesAllowed, corelite.RunFig10, "CSFQ instantaneous rate, churn (§4.3)"},
+		{3, corelite.SeriesAllowed, corelite.Fig3Scenario, "Corelite instantaneous rate, network dynamics (§4.1)"},
+		{4, corelite.SeriesCumulative, corelite.Fig4Scenario, "Corelite cumulative service, network dynamics (§4.1)"},
+		{5, corelite.SeriesAllowed, corelite.Fig5Scenario, "Corelite instantaneous rate, simultaneous start (§4.2)"},
+		{6, corelite.SeriesAllowed, corelite.Fig6Scenario, "CSFQ instantaneous rate, simultaneous start (§4.2)"},
+		{7, corelite.SeriesAllowed, corelite.Fig7Scenario, "Corelite instantaneous rate, staggered start (§4.3)"},
+		{8, corelite.SeriesAllowed, corelite.Fig8Scenario, "CSFQ instantaneous rate, staggered start (§4.3)"},
+		{9, corelite.SeriesAllowed, corelite.Fig9Scenario, "Corelite instantaneous rate, churn (§4.3)"},
+		{10, corelite.SeriesAllowed, corelite.Fig10Scenario, "CSFQ instantaneous rate, churn (§4.3)"},
 	}
 }
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
 		fmt.Fprintln(os.Stderr, "figures:", err)
 		os.Exit(1)
 	}
@@ -91,11 +99,12 @@ func (f *figList) Set(s string) error {
 	return nil
 }
 
-func run(args []string) error {
+func run(args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("figures", flag.ContinueOnError)
 	var figs figList
 	outdir := fs.String("outdir", "figures-out", "directory for CSV output")
 	seed := fs.Int64("seed", 1, "random seed")
+	parallel := fs.Int("parallel", runtime.GOMAXPROCS(0), "concurrent figure runs (1 = serial)")
 	fs.Var(&figs, "fig", "figure number to regenerate (repeatable; default all)")
 	gnuplot := fs.Bool("gnuplot", false, "also write a gnuplot script per figure")
 	if err := fs.Parse(args); err != nil {
@@ -109,15 +118,54 @@ func run(args []string) error {
 		return err
 	}
 
+	filtered := len(want) > 0
+	var selected []figure
+	jobs := []corelite.Job{}
 	for _, fig := range figures() {
-		if len(want) > 0 && !want[fig.num] {
+		if filtered && !want[fig.num] {
 			continue
 		}
-		start := time.Now()
-		res, err := fig.runFn(*seed)
-		if err != nil {
-			return fmt.Errorf("figure %d: %w", fig.num, err)
+		delete(want, fig.num)
+		selected = append(selected, fig)
+		jobs = append(jobs, corelite.Job{
+			Name:     fmt.Sprintf("fig%d", fig.num),
+			Scenario: fig.scenario(*seed),
+		})
+	}
+	if len(want) > 0 {
+		var unknown []int
+		for n := range want {
+			unknown = append(unknown, n)
 		}
+		sort.Ints(unknown)
+		return fmt.Errorf("unknown figure numbers %v (the paper has Figures 3-10)", unknown)
+	}
+
+	// Progress lines land on stderr in completion order; the per-figure
+	// CSVs and summaries below are emitted in figure order, so files and
+	// stdout are byte-identical for any worker count.
+	pool := corelite.NewPool(corelite.PoolConfig{
+		Workers: *parallel,
+		OnDone: func(r corelite.JobResult) {
+			if r.Err != nil {
+				fmt.Fprintf(stderr, "%-6s failed after %v: %v\n", r.Job.Name, r.Stats.Wall.Round(time.Millisecond), r.Err)
+				return
+			}
+			fmt.Fprintf(stderr, "%-6s done in %v (%d events, %.2f Mevents/s)\n",
+				r.Job.Name, r.Stats.Wall.Round(time.Millisecond), r.Stats.Events, r.Stats.EventsPerSec/1e6)
+		},
+	})
+	results, err := pool.Execute(context.Background(), jobs)
+	if err != nil {
+		return err
+	}
+
+	for i, r := range results {
+		fig := selected[i]
+		if r.Err != nil {
+			return fmt.Errorf("figure %d: %w", fig.num, r.Err)
+		}
+		res := r.Output
 		path := filepath.Join(*outdir, fmt.Sprintf("fig%d.csv", fig.num))
 		f, err := os.Create(path)
 		if err != nil {
@@ -136,13 +184,13 @@ func run(args []string) error {
 				return err
 			}
 		}
-		fmt.Printf("figure %2d: %s\n", fig.num, fig.legend)
-		fmt.Printf("           %s (%d events, %d losses, %v wall)\n",
-			path, res.Events, res.TotalLosses, time.Since(start).Round(time.Millisecond))
-		if err := corelite.WriteSummary(os.Stdout, res); err != nil {
+		fmt.Fprintf(stdout, "figure %2d: %s\n", fig.num, fig.legend)
+		fmt.Fprintf(stdout, "           %s (%d events, %d losses)\n",
+			path, res.Events, res.TotalLosses)
+		if err := corelite.WriteSummary(stdout, res); err != nil {
 			return err
 		}
-		fmt.Println()
+		fmt.Fprintln(stdout)
 	}
 	return nil
 }

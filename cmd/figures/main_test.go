@@ -1,6 +1,8 @@
 package main
 
 import (
+	"bytes"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
@@ -34,7 +36,7 @@ func TestFiguresTable(t *testing.T) {
 			t.Errorf("figure order: got %d, want %d", f.num, want)
 		}
 		want++
-		if f.runFn == nil || f.legend == "" {
+		if f.scenario == nil || f.legend == "" {
 			t.Errorf("figure %d incomplete", f.num)
 		}
 	}
@@ -43,7 +45,7 @@ func TestFiguresTable(t *testing.T) {
 func TestRunSingleFigure(t *testing.T) {
 	dir := t.TempDir()
 	// Figure 5 is the cheapest (80 simulated seconds).
-	if err := run([]string{"-outdir", dir, "-fig", "5"}); err != nil {
+	if err := run([]string{"-outdir", dir, "-fig", "5"}, io.Discard, io.Discard); err != nil {
 		t.Fatalf("run: %v", err)
 	}
 	data, err := os.ReadFile(filepath.Join(dir, "fig5.csv"))
@@ -59,9 +61,16 @@ func TestRunSingleFigure(t *testing.T) {
 	}
 }
 
+func TestRunUnknownFigure(t *testing.T) {
+	err := run([]string{"-outdir", t.TempDir(), "-fig", "99"}, io.Discard, io.Discard)
+	if err == nil || !strings.Contains(err.Error(), "99") {
+		t.Errorf("unknown figure accepted: %v", err)
+	}
+}
+
 func TestRunWithGnuplot(t *testing.T) {
 	dir := t.TempDir()
-	if err := run([]string{"-outdir", dir, "-fig", "5", "-gnuplot"}); err != nil {
+	if err := run([]string{"-outdir", dir, "-fig", "5", "-gnuplot"}, io.Discard, io.Discard); err != nil {
 		t.Fatalf("run: %v", err)
 	}
 	data, err := os.ReadFile(filepath.Join(dir, "fig5.gp"))
@@ -73,5 +82,41 @@ func TestRunWithGnuplot(t *testing.T) {
 		if !strings.Contains(gp, want) {
 			t.Errorf("gnuplot script missing %q", want)
 		}
+	}
+}
+
+// TestParallelMatchesSerialOutput is the CLI-level determinism guarantee:
+// -parallel 1 and -parallel 8 produce byte-identical CSVs and stdout for
+// the same figure subset (5 and 6 keep the test fast).
+func TestParallelMatchesSerialOutput(t *testing.T) {
+	outputs := make(map[string][]byte)
+	stdouts := make(map[string]string)
+	for _, par := range []string{"1", "8"} {
+		dir := t.TempDir()
+		var stdout bytes.Buffer
+		args := []string{"-outdir", dir, "-fig", "5", "-fig", "6", "-parallel", par}
+		if err := run(args, &stdout, io.Discard); err != nil {
+			t.Fatalf("run -parallel %s: %v", par, err)
+		}
+		// Strip the temp-dir path so the two stdouts are comparable.
+		stdouts[par] = strings.ReplaceAll(stdout.String(), dir, "")
+		for _, name := range []string{"fig5.csv", "fig6.csv"} {
+			data, err := os.ReadFile(filepath.Join(dir, name))
+			if err != nil {
+				t.Fatalf("-parallel %s: %v", par, err)
+			}
+			outputs[par+"/"+name] = data
+		}
+	}
+	for _, name := range []string{"fig5.csv", "fig6.csv"} {
+		if !bytes.Equal(outputs["1/"+name], outputs["8/"+name]) {
+			t.Errorf("%s differs between -parallel 1 and -parallel 8", name)
+		}
+	}
+	if stdouts["1"] != stdouts["8"] {
+		t.Errorf("stdout differs between -parallel 1 and -parallel 8:\n%s\n---\n%s", stdouts["1"], stdouts["8"])
+	}
+	if !strings.Contains(stdouts["1"], "figure  5") || !strings.Contains(stdouts["1"], "figure  6") {
+		t.Errorf("stdout missing figure summaries:\n%s", stdouts["1"])
 	}
 }

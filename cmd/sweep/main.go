@@ -2,33 +2,40 @@
 // reruns the Figure 5 startup scenario while varying one parameter — the
 // congestion epoch, the marking threshold, the per-hop latency, or the
 // marking constant K1 — and prints a table of losses, fairness, and
-// convergence per setting.
+// convergence per setting. Sweep points are independent simulations and
+// run on a worker pool; the table is printed in point order, so output is
+// identical for any -parallel value.
 //
 //	sweep -param epoch
-//	sweep -param latency -seed 3
+//	sweep -param latency -seed 3 -parallel 4
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"runtime"
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/run"
 )
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
+	if err := mainRun(os.Args[1:], os.Stdout, os.Stderr); err != nil {
 		fmt.Fprintln(os.Stderr, "sweep:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string) error {
+func mainRun(args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("sweep", flag.ContinueOnError)
 	param := fs.String("param", "epoch", "parameter to sweep: epoch, qthresh, latency, k1")
 	seed := fs.Int64("seed", 1, "random seed")
 	duration := fs.Duration("duration", 80*time.Second, "simulated duration per point")
+	parallel := fs.Int("parallel", runtime.GOMAXPROCS(0), "concurrent sweep points (1 = serial)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -49,15 +56,32 @@ func run(args []string) error {
 
 	base := experiments.Fig5Scenario(*seed)
 	base.Duration = *duration
-	fmt.Printf("sensitivity sweep over %s (Figure 5 scenario, %v, seed %d)\n\n", *param, *duration, *seed)
-	fmt.Printf("%-16s %-10s %-12s %-8s %-12s %-10s\n",
-		"point", "losses", "loss-ratio", "jain", "worst-conv", "converged")
-	results, err := experiments.Sweep(base, points)
+	scs := experiments.SweepScenarios(base, points)
+
+	pool := run.New(run.Config{
+		Workers: *parallel,
+		OnDone: func(r run.Result) {
+			if r.Err != nil {
+				return // reported in point order below
+			}
+			fmt.Fprintf(stderr, "%-28s done in %v (%d events)\n",
+				r.Job.Name, r.Stats.Wall.Round(time.Millisecond), r.Stats.Events)
+		},
+	})
+	results, err := pool.Execute(context.Background(), run.FromScenarios(scs...))
 	if err != nil {
 		return err
 	}
-	for _, r := range results {
-		fmt.Printf("%-16s %-10d %-12.4f %-8.4f %-12v %-10v\n",
+
+	fmt.Fprintf(stdout, "sensitivity sweep over %s (Figure 5 scenario, %v, seed %d)\n\n", *param, *duration, *seed)
+	fmt.Fprintf(stdout, "%-16s %-10s %-12s %-8s %-12s %-10s\n",
+		"point", "losses", "loss-ratio", "jain", "worst-conv", "converged")
+	for i, res := range results {
+		if res.Err != nil {
+			return fmt.Errorf("sweep point %q: %w", points[i].Label, res.Err)
+		}
+		r := experiments.Summarize(points[i].Label, scs[i], res.Output)
+		fmt.Fprintf(stdout, "%-16s %-10d %-12.4f %-8.4f %-12v %-10v\n",
 			r.Label, r.Losses, r.LossRatio, r.Jain, r.WorstConv.Round(time.Second), r.AllConverged)
 	}
 	return nil

@@ -1,15 +1,44 @@
 package main
 
-import "testing"
+import (
+	"bytes"
+	"io"
+	"strings"
+	"testing"
+)
 
 func TestSweepUnknownParam(t *testing.T) {
-	if err := run([]string{"-param", "bogus"}); err == nil {
+	if err := mainRun([]string{"-param", "bogus"}, io.Discard, io.Discard); err == nil {
 		t.Error("unknown parameter accepted")
 	}
 }
 
 func TestSweepK1Short(t *testing.T) {
-	if err := run([]string{"-param", "k1", "-duration", "5s"}); err != nil {
+	var stdout bytes.Buffer
+	if err := mainRun([]string{"-param", "k1", "-duration", "5s"}, &stdout, io.Discard); err != nil {
 		t.Fatalf("run: %v", err)
+	}
+	out := stdout.String()
+	for _, want := range []string{"sensitivity sweep over k1", "k1=0.5", "k1=4"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestSweepParallelMatchesSerial checks the table is identical for any
+// worker count: sweep points are keyed by position, not completion order.
+func TestSweepParallelMatchesSerial(t *testing.T) {
+	tables := make(map[string]string)
+	for _, par := range []string{"1", "8"} {
+		var stdout bytes.Buffer
+		args := []string{"-param", "qthresh", "-duration", "5s", "-parallel", par}
+		if err := mainRun(args, &stdout, io.Discard); err != nil {
+			t.Fatalf("run -parallel %s: %v", par, err)
+		}
+		tables[par] = stdout.String()
+	}
+	if tables["1"] != tables["8"] {
+		t.Errorf("sweep table differs between -parallel 1 and 8:\n%s\n---\n%s", tables["1"], tables["8"])
 	}
 }

@@ -38,6 +38,7 @@
 package corelite
 
 import (
+	"context"
 	"io"
 	"time"
 
@@ -49,6 +50,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/netem"
 	"repro/internal/packet"
+	"repro/internal/run"
 	"repro/internal/sim"
 	"repro/internal/topology"
 	"repro/internal/topospec"
@@ -263,6 +265,7 @@ func ExpectedRatesAt(sc Scenario, t time.Duration) (map[int]float64, error) {
 // plots.
 var (
 	Fig3Scenario  = experiments.Fig3Scenario
+	Fig4Scenario  = experiments.Fig4Scenario
 	Fig5Scenario  = experiments.Fig5Scenario
 	Fig6Scenario  = experiments.Fig6Scenario
 	Fig7Scenario  = experiments.Fig7Scenario
@@ -283,6 +286,50 @@ var (
 	AllFigures = experiments.AllFigures
 )
 
+// Parallel run orchestration (package internal/run): scenarios are pure
+// specs, the Pool executes batches of them on bounded workers, and
+// results come back keyed by job order — so parallel output is
+// byte-identical to serial output.
+type (
+	// Job pairs a name with the scenario spec to execute.
+	Job = run.Job
+	// JobResult is one job's outcome, in submission order.
+	JobResult = run.Result
+	// JobStats instruments one completed job (wall time, events,
+	// packets forwarded/dropped, events/sec).
+	JobStats = run.Stats
+	// Pool executes job batches on bounded worker goroutines.
+	Pool = run.Pool
+	// PoolConfig parameterizes a Pool (worker bound, progress hook).
+	PoolConfig = run.Config
+)
+
+// Pool constructors and helpers.
+var (
+	// NewPool returns a pool with the configured worker bound
+	// (default GOMAXPROCS).
+	NewPool = run.New
+	// JobsFromScenarios wraps scenarios into jobs named after them.
+	JobsFromScenarios = run.FromScenarios
+	// DeriveSeed maps a base seed and a job name to a reproducible
+	// per-job seed (for seed-replica batches).
+	DeriveSeed = run.DeriveSeed
+	// FirstJobErr returns the first failed job's error in a batch.
+	FirstJobErr = run.FirstErr
+)
+
+// RunBatch executes jobs on a pool of parallel workers (<= 0 means
+// GOMAXPROCS) and returns one result per job in submission order. A
+// failing or panicking scenario fails only its own job.
+func RunBatch(ctx context.Context, parallel int, jobs []Job) ([]JobResult, error) {
+	return NewPool(PoolConfig{Workers: parallel}).Execute(ctx, jobs)
+}
+
+// FigureJobs returns the full Figures 3-10 evaluation batch as pool jobs.
+func FigureJobs(seed int64) []Job {
+	return JobsFromScenarios(AllFigures(seed)...)
+}
+
 // Sensitivity sweeps (the paper's §4.4 analysis).
 type (
 	// SweepPoint is one parameter variation.
@@ -293,8 +340,13 @@ type (
 
 // Sweep runners and canned parameter sets.
 var (
-	// Sweep runs a base scenario across parameter variations.
+	// Sweep runs a base scenario across parameter variations, serially.
 	Sweep = experiments.Sweep
+	// SweepScenarios expands a base scenario into one spec per point,
+	// ready for RunBatch.
+	SweepScenarios = experiments.SweepScenarios
+	// SummarizeSweep condenses one sweep run into its table row.
+	SummarizeSweep = experiments.Summarize
 	// EpochSweep varies the congestion/adaptation epoch.
 	EpochSweep = experiments.EpochSweep
 	// QThreshSweep varies the congestion-detection threshold.

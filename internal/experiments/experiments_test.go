@@ -196,8 +196,11 @@ func TestFigureScenarioShapes(t *testing.T) {
 		!s3.ActiveAt(70*time.Second, f9.Duration) {
 		t.Errorf("fig9 schedule wrong: %+v", s3)
 	}
-	if got := len(AllFigures(1)); got != 7 {
-		t.Errorf("AllFigures returned %d scenarios, want 7", got)
+	if got := len(AllFigures(1)); got != 8 {
+		t.Errorf("AllFigures returned %d scenarios, want 8 (Figures 3-10)", got)
+	}
+	if AllFigures(1)[1].Name != Fig4Scenario(1).Name {
+		t.Errorf("AllFigures missing the Figure 4 spec")
 	}
 }
 

@@ -32,48 +32,68 @@ type SweepResult struct {
 	AllConverged bool
 }
 
-// Sweep runs the base scenario once per point and summarizes each run.
-// It regenerates the paper's §4.4 sensitivity claim ("Corelite is not
-// very sensitive to these parameters") as a table.
-func Sweep(base Scenario, points []SweepPoint) ([]SweepResult, error) {
-	out := make([]SweepResult, 0, len(points))
+// SweepScenarios expands a base scenario into one spec per sweep point —
+// the pure description of the §4.4 sensitivity batch, ready to hand to an
+// execution engine (internal/run) or to Run serially. The returned slice
+// is index-aligned with points.
+func SweepScenarios(base Scenario, points []SweepPoint) []Scenario {
+	out := make([]Scenario, 0, len(points))
 	for _, pt := range points {
 		sc := base
 		if pt.Mutate != nil {
 			pt.Mutate(&sc)
 		}
 		sc.Name = base.Name + "/" + pt.Label
+		out = append(out, sc)
+	}
+	return out
+}
+
+// Summarize condenses one sweep run into the loss / fairness /
+// convergence row the §4.4 table prints.
+func Summarize(label string, sc Scenario, res *Result) SweepResult {
+	var delivered int64
+	for _, f := range res.Flows {
+		delivered += f.Delivered
+	}
+	sr := SweepResult{
+		Label:  label,
+		Losses: res.TotalLosses,
+		Jain:   res.JainIndexAt(res.Duration-res.SampleWindow, sc),
+	}
+	if delivered > 0 {
+		sr.LossRatio = float64(res.TotalLosses) / float64(delivered)
+	}
+	worst := time.Duration(0)
+	all := true
+	for _, f := range res.Flows {
+		at, ok := metrics.ConvergenceTime(f.AllowedRate, res.ExpectedFullSet[f.Index], 0.25)
+		if !ok {
+			all = false
+			continue
+		}
+		if at > worst {
+			worst = at
+		}
+	}
+	sr.WorstConv = worst
+	sr.AllConverged = all
+	return sr
+}
+
+// Sweep runs the base scenario once per point, serially, and summarizes
+// each run. It regenerates the paper's §4.4 sensitivity claim ("Corelite
+// is not very sensitive to these parameters") as a table; cmd/sweep runs
+// the same specs through the internal/run pool instead.
+func Sweep(base Scenario, points []SweepPoint) ([]SweepResult, error) {
+	scs := SweepScenarios(base, points)
+	out := make([]SweepResult, 0, len(points))
+	for i, sc := range scs {
 		res, err := Run(sc)
 		if err != nil {
-			return nil, fmt.Errorf("sweep point %q: %w", pt.Label, err)
+			return nil, fmt.Errorf("sweep point %q: %w", points[i].Label, err)
 		}
-		var delivered int64
-		for _, f := range res.Flows {
-			delivered += f.Delivered
-		}
-		sr := SweepResult{
-			Label:  pt.Label,
-			Losses: res.TotalLosses,
-			Jain:   res.JainIndexAt(res.Duration-res.SampleWindow, sc),
-		}
-		if delivered > 0 {
-			sr.LossRatio = float64(res.TotalLosses) / float64(delivered)
-		}
-		worst := time.Duration(0)
-		all := true
-		for _, f := range res.Flows {
-			at, ok := metrics.ConvergenceTime(f.AllowedRate, res.ExpectedFullSet[f.Index], 0.25)
-			if !ok {
-				all = false
-				continue
-			}
-			if at > worst {
-				worst = at
-			}
-		}
-		sr.WorstConv = worst
-		sr.AllConverged = all
-		out = append(out, sr)
+		out = append(out, Summarize(points[i].Label, sc, res))
 	}
 	return out, nil
 }

@@ -72,8 +72,9 @@ func NewScheduler() *Scheduler {
 // Now reports the current virtual time.
 func (s *Scheduler) Now() Time { return s.now }
 
-// Len reports the number of pending (non-cancelled scheduling slots may
-// include cancelled events that have not yet been popped).
+// Len reports the number of events still queued. The count includes
+// cancelled events that have not yet been popped: Cancel marks an event
+// dead but leaves it in the heap until Step or peek discards it.
 func (s *Scheduler) Len() int { return s.events.Len() }
 
 // Processed reports how many events have been executed so far.
