@@ -3,10 +3,11 @@
 #   make         -> build + vet + test
 #   make race    -> race-detector pass over the concurrent packages
 #   make check   -> everything (the documented verify flow)
+#   make profile -> CPU-profile a short evaluation run and print hot spots
 
 GO ?= go
 
-.PHONY: all build test race vet bench check
+.PHONY: all build test race vet bench check profile
 
 all: build vet test
 
@@ -17,14 +18,24 @@ test:
 	$(GO) test ./...
 
 # The internal/run worker pool is the repository's first concurrent code;
-# it and its primary caller must stay race-clean.
+# it and its primary caller must stay race-clean. The observability layer
+# rides along in every pool job, so it is covered here too.
 race:
-	$(GO) test -race ./internal/run ./internal/experiments
+	$(GO) test -race ./internal/run ./internal/experiments ./internal/obs
 
 vet:
 	$(GO) vet ./...
 
 bench:
 	$(GO) test -bench=. -benchmem
+
+# profile runs a short paper-topology simulation under the CPU profiler and
+# prints the top-10 hot functions. The pprof file and the telemetry bundle
+# land in profile-out/ for deeper digging (go tool pprof, chrome://tracing).
+profile:
+	mkdir -p profile-out
+	$(GO) run ./cmd/coresim -flows 10 -duration 30s -summary=false \
+		-obs profile-out -cpuprofile profile-out/cpu.prof -memprofile profile-out/mem.prof
+	$(GO) tool pprof -top -nodecount=10 profile-out/cpu.prof
 
 check: build vet test race

@@ -430,3 +430,38 @@ func BenchmarkExtensionMinRateContracts(b *testing.B) {
 	}
 	b.ReportMetric(low, "contract_floor")
 }
+
+// benchObs runs a shortened Figure 5 startup with or without a telemetry
+// registry attached. The pair quantifies the cost of the instrumentation
+// layer: Off is the baseline, Attached keeps every counter and control
+// event live but disables time-series sampling (negative ObsSample), so the
+// delta is exactly the per-packet/per-epoch instrument overhead the hot
+// path pays when observability is wired in.
+func benchObs(b *testing.B, attach bool) {
+	b.Helper()
+	sc := corelite.Fig5Scenario(1)
+	sc.Duration = 20 * time.Second
+	var events uint64
+	for i := 0; i < b.N; i++ {
+		run := sc
+		run.Seed = int64(i + 1)
+		if attach {
+			run.Obs = corelite.NewObsRegistry()
+			run.ObsSample = -1
+		}
+		res, err := corelite.Run(run)
+		if err != nil {
+			b.Fatalf("run: %v", err)
+		}
+		events = res.Events
+	}
+	b.ReportMetric(float64(events)/b.Elapsed().Seconds()/1e6*float64(b.N), "Mevents/s")
+}
+
+// BenchmarkObsDisabled is the no-registry baseline: instruments are nil and
+// the forwarding path pays only nil checks.
+func BenchmarkObsDisabled(b *testing.B) { benchObs(b, false) }
+
+// BenchmarkObsAttached runs with counters and control events recording
+// (sampling off), for comparison against BenchmarkObsDisabled.
+func BenchmarkObsAttached(b *testing.B) { benchObs(b, true) }

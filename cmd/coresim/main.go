@@ -13,6 +13,12 @@
 // With -out PREFIX the tool writes PREFIX-allowed.csv,
 // PREFIX-received.csv and PREFIX-cumulative.csv (PREFIX-rN-… per replica
 // when -runs > 1).
+//
+// With -obs DIR each run additionally captures control-plane telemetry and
+// writes events.jsonl, events.csv, series.csv, counters.csv and trace.json
+// into DIR (rN.-prefixed per replica); trace.json loads in chrome://tracing
+// or Perfetto. -cpuprofile and -memprofile write host pprof profiles of the
+// simulation.
 package main
 
 import (
@@ -55,6 +61,9 @@ func run(args []string, stdout io.Writer) error {
 		summary  = fs.Bool("summary", true, "print the per-flow summary")
 		runs     = fs.Int("runs", 1, "seed replicas of the scenario (derived per-run seeds)")
 		parallel = fs.Int("parallel", runtime.GOMAXPROCS(0), "concurrent replicas (1 = serial)")
+		obsDir   = fs.String("obs", "", "directory for control-plane telemetry (events JSONL/CSV, sampled series, Chrome trace)")
+		cpuProf  = fs.String("cpuprofile", "", "write a host CPU profile of the simulation to this file")
+		memProf  = fs.String("memprofile", "", "write a post-run heap profile to this file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -123,12 +132,31 @@ func run(args []string, stdout io.Writer) error {
 				rsc.Seed = corelite.DeriveSeed(*seed, name)
 			}
 		}
+		if *obsDir != "" {
+			rsc.Obs = corelite.NewObsRegistry()
+		}
 		jobs[i] = corelite.Job{Name: name, Scenario: rsc}
 	}
 
-	results, err := corelite.RunBatch(context.Background(), *parallel, jobs)
+	stopCPU, err := corelite.StartCPUProfile(*cpuProf)
 	if err != nil {
 		return err
+	}
+	results, err := corelite.RunBatch(context.Background(), *parallel, jobs)
+	if stopErr := stopCPU(); stopErr != nil && err == nil {
+		err = stopErr
+	}
+	if err != nil {
+		return err
+	}
+	if *memProf != "" {
+		if err := corelite.WriteHeapProfile(*memProf); err != nil {
+			return err
+		}
+		fmt.Fprintln(stdout, "wrote", *memProf)
+	}
+	if *cpuProf != "" {
+		fmt.Fprintln(stdout, "wrote", *cpuProf)
 	}
 	if traceFile != nil {
 		fmt.Fprintln(stdout, "wrote", *traceOut)
@@ -160,6 +188,23 @@ func run(args []string, stdout io.Writer) error {
 					return err
 				}
 				fmt.Fprintln(stdout, "wrote", path)
+			}
+		}
+		if *obsDir != "" {
+			prefix := ""
+			if *runs > 1 {
+				prefix = fmt.Sprintf("r%d.", i+1)
+			}
+			paths, err := r.Obs.WriteDir(*obsDir, prefix)
+			if err != nil {
+				return err
+			}
+			for _, p := range paths {
+				fmt.Fprintln(stdout, "wrote", p)
+			}
+			if tel := r.Stats.Telemetry; tel != nil {
+				fmt.Fprintf(stdout, "telemetry: %d control events, %d samples, %d congestion epochs, %d feedback, %d drops, peak queue %.0f\n",
+					tel.Events, tel.Samples, tel.CongestionEpochs, tel.FeedbackSent, tel.Drops, tel.PeakQueue)
 			}
 		}
 	}

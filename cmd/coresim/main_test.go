@@ -169,3 +169,70 @@ flow 1 in1 out1 weight=2
 		t.Errorf("trace content unexpected:\n%.200s", data)
 	}
 }
+
+// TestRunObsBundle checks the -obs flag: a single invocation emits the full
+// telemetry bundle (JSONL events, sampled series, Chrome trace) plus the
+// telemetry summary line, and -cpuprofile/-memprofile write profiles.
+func TestRunObsBundle(t *testing.T) {
+	dir := t.TempDir()
+	obsDir := filepath.Join(dir, "obs")
+	cpu := filepath.Join(dir, "cpu.prof")
+	mem := filepath.Join(dir, "mem.prof")
+	var sb strings.Builder
+	err := run([]string{
+		"-flows", "2", "-dumbbell", "-weights", "1:1,2:2", "-duration", "6s",
+		"-obs", obsDir, "-cpuprofile", cpu, "-memprofile", mem,
+	}, &sb)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !strings.Contains(sb.String(), "telemetry:") {
+		t.Errorf("missing telemetry summary line:\n%s", sb.String())
+	}
+	for _, name := range []string{"events.jsonl", "events.csv", "series.csv", "counters.csv", "trace.json"} {
+		data, err := os.ReadFile(filepath.Join(obsDir, name))
+		if err != nil {
+			t.Fatalf("missing %s: %v", name, err)
+		}
+		if len(data) == 0 {
+			t.Errorf("%s is empty", name)
+		}
+	}
+	jsonl, _ := os.ReadFile(filepath.Join(obsDir, "events.jsonl"))
+	if !strings.HasPrefix(string(jsonl), `{"t":`) {
+		t.Errorf("events.jsonl does not start with a JSON event: %.80s", jsonl)
+	}
+	traceJSON, _ := os.ReadFile(filepath.Join(obsDir, "trace.json"))
+	if !strings.Contains(string(traceJSON), `"traceEvents"`) {
+		t.Errorf("trace.json is not a Chrome trace: %.80s", traceJSON)
+	}
+	series, _ := os.ReadFile(filepath.Join(obsDir, "series.csv"))
+	if !strings.HasPrefix(string(series), "time_s,") || !strings.Contains(string(series), "queue/") {
+		t.Errorf("series.csv header unexpected: %.120s", series)
+	}
+	for _, p := range []string{cpu, mem} {
+		if st, err := os.Stat(p); err != nil || st.Size() == 0 {
+			t.Errorf("profile %s missing or empty (%v)", p, err)
+		}
+	}
+}
+
+// TestRunObsReplicas checks that -obs with -runs N writes one rN.-prefixed
+// bundle per replica.
+func TestRunObsReplicas(t *testing.T) {
+	obsDir := filepath.Join(t.TempDir(), "obs")
+	var sb strings.Builder
+	err := run([]string{
+		"-flows", "2", "-dumbbell", "-duration", "4s",
+		"-runs", "2", "-obs", obsDir,
+	}, &sb)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	for i := 1; i <= 2; i++ {
+		name := fmt.Sprintf("r%d.events.jsonl", i)
+		if _, err := os.Stat(filepath.Join(obsDir, name)); err != nil {
+			t.Errorf("missing replica bundle %s: %v", name, err)
+		}
+	}
+}

@@ -7,6 +7,14 @@
 //	figures -outdir out                   # all figures, GOMAXPROCS workers
 //	figures -outdir out -parallel 1       # serial
 //	figures -fig 5 -fig 6                 # just the startup comparison
+//	figures -fig 5 -obs out/obs           # + control-plane telemetry bundle
+//
+// With -obs DIR every figure run captures control-plane telemetry (each job
+// gets its own registry, so parallel runs never share) and writes a
+// figN.-prefixed bundle — events as JSONL/CSV, the sampled gauge series, and
+// a Chrome trace_event timeline — into DIR. The figure CSVs are
+// byte-identical with telemetry on or off. -cpuprofile/-memprofile write
+// host pprof profiles.
 package main
 
 import (
@@ -107,6 +115,9 @@ func run(args []string, stdout, stderr io.Writer) error {
 	parallel := fs.Int("parallel", runtime.GOMAXPROCS(0), "concurrent figure runs (1 = serial)")
 	fs.Var(&figs, "fig", "figure number to regenerate (repeatable; default all)")
 	gnuplot := fs.Bool("gnuplot", false, "also write a gnuplot script per figure")
+	obsDir := fs.String("obs", "", "directory for per-figure control-plane telemetry (figN.events.jsonl, figN.series.csv, figN.trace.json, ...)")
+	cpuProf := fs.String("cpuprofile", "", "write a host CPU profile of the batch to this file")
+	memProf := fs.String("memprofile", "", "write a post-run heap profile to this file")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -146,6 +157,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	// stdout are byte-identical for any worker count.
 	pool := corelite.NewPool(corelite.PoolConfig{
 		Workers: *parallel,
+		Observe: *obsDir != "",
 		OnDone: func(r corelite.JobResult) {
 			if r.Err != nil {
 				fmt.Fprintf(stderr, "%-6s failed after %v: %v\n", r.Job.Name, r.Stats.Wall.Round(time.Millisecond), r.Err)
@@ -155,8 +167,18 @@ func run(args []string, stdout, stderr io.Writer) error {
 				r.Job.Name, r.Stats.Wall.Round(time.Millisecond), r.Stats.Events, r.Stats.EventsPerSec/1e6)
 		},
 	})
-	results, err := pool.Execute(context.Background(), jobs)
+	stopCPU, err := corelite.StartCPUProfile(*cpuProf)
 	if err != nil {
+		return err
+	}
+	results, err := pool.Execute(context.Background(), jobs)
+	if stopErr := stopCPU(); stopErr != nil && err == nil {
+		err = stopErr
+	}
+	if err != nil {
+		return err
+	}
+	if err := corelite.WriteHeapProfile(*memProf); err != nil {
 		return err
 	}
 
@@ -187,6 +209,15 @@ func run(args []string, stdout, stderr io.Writer) error {
 		fmt.Fprintf(stdout, "figure %2d: %s\n", fig.num, fig.legend)
 		fmt.Fprintf(stdout, "           %s (%d events, %d losses)\n",
 			path, res.Events, res.TotalLosses)
+		if *obsDir != "" {
+			if _, err := r.Obs.WriteDir(*obsDir, fmt.Sprintf("fig%d.", fig.num)); err != nil {
+				return err
+			}
+			if tel := r.Stats.Telemetry; tel != nil {
+				fmt.Fprintf(stdout, "           telemetry: %d control events, %d samples, %d congestion epochs, %d feedback, peak queue %.0f\n",
+					tel.Events, tel.Samples, tel.CongestionEpochs, tel.FeedbackSent, tel.PeakQueue)
+			}
+		}
 		if err := corelite.WriteSummary(stdout, res); err != nil {
 			return err
 		}

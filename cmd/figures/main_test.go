@@ -120,3 +120,38 @@ func TestParallelMatchesSerialOutput(t *testing.T) {
 		t.Errorf("stdout missing figure summaries:\n%s", stdouts["1"])
 	}
 }
+
+// TestRunObsBundle checks -obs at the figures level: the figure CSV is
+// byte-identical with telemetry on or off, and the figN.-prefixed bundle
+// lands in the obs directory.
+func TestRunObsBundle(t *testing.T) {
+	plainDir := t.TempDir()
+	if err := run([]string{"-outdir", plainDir, "-fig", "5"}, io.Discard, io.Discard); err != nil {
+		t.Fatalf("plain run: %v", err)
+	}
+	obsOut := t.TempDir()
+	obsDir := filepath.Join(obsOut, "obs")
+	var stdout bytes.Buffer
+	if err := run([]string{"-outdir", obsOut, "-fig", "5", "-obs", obsDir}, &stdout, io.Discard); err != nil {
+		t.Fatalf("observed run: %v", err)
+	}
+	plain, err := os.ReadFile(filepath.Join(plainDir, "fig5.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	observed, err := os.ReadFile(filepath.Join(obsOut, "fig5.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(plain, observed) {
+		t.Error("telemetry changed fig5.csv output")
+	}
+	for _, name := range []string{"fig5.events.jsonl", "fig5.events.csv", "fig5.series.csv", "fig5.counters.csv", "fig5.trace.json"} {
+		if st, err := os.Stat(filepath.Join(obsDir, name)); err != nil || st.Size() == 0 {
+			t.Errorf("missing or empty %s (%v)", name, err)
+		}
+	}
+	if !strings.Contains(stdout.String(), "telemetry:") {
+		t.Errorf("missing telemetry summary line:\n%s", stdout.String())
+	}
+}

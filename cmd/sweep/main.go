@@ -8,6 +8,12 @@
 //
 //	sweep -param epoch
 //	sweep -param latency -seed 3 -parallel 4
+//	sweep -param qthresh -obs out/obs    # + per-point telemetry bundles
+//
+// With -obs DIR every sweep point captures control-plane telemetry and
+// writes a label-prefixed bundle (events JSONL/CSV, sampled gauge series,
+// Chrome trace JSON) into DIR. -cpuprofile/-memprofile write host pprof
+// profiles.
 package main
 
 import (
@@ -20,6 +26,7 @@ import (
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/obs"
 	"repro/internal/run"
 )
 
@@ -36,6 +43,9 @@ func mainRun(args []string, stdout, stderr io.Writer) error {
 	seed := fs.Int64("seed", 1, "random seed")
 	duration := fs.Duration("duration", 80*time.Second, "simulated duration per point")
 	parallel := fs.Int("parallel", runtime.GOMAXPROCS(0), "concurrent sweep points (1 = serial)")
+	obsDir := fs.String("obs", "", "directory for per-point control-plane telemetry bundles")
+	cpuProf := fs.String("cpuprofile", "", "write a host CPU profile of the sweep to this file")
+	memProf := fs.String("memprofile", "", "write a post-run heap profile to this file")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -60,6 +70,7 @@ func mainRun(args []string, stdout, stderr io.Writer) error {
 
 	pool := run.New(run.Config{
 		Workers: *parallel,
+		Observe: *obsDir != "",
 		OnDone: func(r run.Result) {
 			if r.Err != nil {
 				return // reported in point order below
@@ -68,8 +79,18 @@ func mainRun(args []string, stdout, stderr io.Writer) error {
 				r.Job.Name, r.Stats.Wall.Round(time.Millisecond), r.Stats.Events)
 		},
 	})
-	results, err := pool.Execute(context.Background(), run.FromScenarios(scs...))
+	stopCPU, err := obs.StartCPUProfile(*cpuProf)
 	if err != nil {
+		return err
+	}
+	results, err := pool.Execute(context.Background(), run.FromScenarios(scs...))
+	if stopErr := stopCPU(); stopErr != nil && err == nil {
+		err = stopErr
+	}
+	if err != nil {
+		return err
+	}
+	if err := obs.WriteHeapProfile(*memProf); err != nil {
 		return err
 	}
 
@@ -83,6 +104,14 @@ func mainRun(args []string, stdout, stderr io.Writer) error {
 		r := experiments.Summarize(points[i].Label, scs[i], res.Output)
 		fmt.Fprintf(stdout, "%-16s %-10d %-12.4f %-8.4f %-12v %-10v\n",
 			r.Label, r.Losses, r.LossRatio, r.Jain, r.WorstConv.Round(time.Second), r.AllConverged)
+		if *obsDir != "" {
+			if _, err := res.Obs.WriteDir(*obsDir, obs.FilePrefix(res.Job.Name)); err != nil {
+				return err
+			}
+		}
+	}
+	if *obsDir != "" {
+		fmt.Fprintf(stdout, "\ntelemetry bundles in %s (one per point: events.jsonl, events.csv, series.csv, counters.csv, trace.json)\n", *obsDir)
 	}
 	return nil
 }

@@ -3,6 +3,8 @@ package main
 import (
 	"bytes"
 	"io"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -40,5 +42,30 @@ func TestSweepParallelMatchesSerial(t *testing.T) {
 	}
 	if tables["1"] != tables["8"] {
 		t.Errorf("sweep table differs between -parallel 1 and 8:\n%s\n---\n%s", tables["1"], tables["8"])
+	}
+}
+
+// TestSweepObsBundles checks -obs: every sweep point writes a
+// label-prefixed telemetry bundle.
+func TestSweepObsBundles(t *testing.T) {
+	obsDir := filepath.Join(t.TempDir(), "obs")
+	var stdout bytes.Buffer
+	args := []string{"-param", "k1", "-duration", "4s", "-obs", obsDir}
+	if err := mainRun(args, &stdout, io.Discard); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	// Point names like "fig5-corelite-startup/k1=0.5" sanitize to
+	// "fig5-corelite-startup-k1-0.5." prefixes.
+	for _, name := range []string{
+		"fig5-corelite-startup-k1-0.5.events.jsonl",
+		"fig5-corelite-startup-k1-0.5.trace.json",
+		"fig5-corelite-startup-k1-4.series.csv",
+	} {
+		if st, err := os.Stat(filepath.Join(obsDir, name)); err != nil || st.Size() == 0 {
+			t.Errorf("missing or empty bundle file %s (%v)", name, err)
+		}
+	}
+	if !strings.Contains(stdout.String(), "telemetry bundles in") {
+		t.Errorf("missing bundle pointer line:\n%s", stdout.String())
 	}
 }

@@ -49,6 +49,7 @@ import (
 	"repro/internal/host"
 	"repro/internal/metrics"
 	"repro/internal/netem"
+	"repro/internal/obs"
 	"repro/internal/packet"
 	"repro/internal/run"
 	"repro/internal/sim"
@@ -244,6 +245,34 @@ var (
 	ConvergenceTime = metrics.ConvergenceTime
 )
 
+// Observability (package internal/obs): attach a fresh ObsRegistry to
+// Scenario.Obs (or set PoolConfig.Observe for batches) to capture named
+// counters, sampled gauge time series, and the structured control-plane
+// event stream of a run, then export them with the registry's WriteDir /
+// WriteEventsJSONL / WriteChromeTrace methods. The layer draws no
+// randomness and perturbs no model state, so figure output is
+// byte-identical with it on or off.
+type (
+	// ObsRegistry is the per-run instrumentation hub.
+	ObsRegistry = obs.Registry
+	// ObsSummary condenses a run's telemetry into per-job health numbers.
+	ObsSummary = obs.Summary
+	// ControlEvent is one structured control-plane event.
+	ControlEvent = obs.ControlEvent
+	// ControlKind enumerates control-plane event kinds.
+	ControlKind = obs.ControlKind
+)
+
+// Observability constructors and profiling hooks.
+var (
+	// NewObsRegistry returns an empty instrumentation hub.
+	NewObsRegistry = obs.NewRegistry
+	// StartCPUProfile begins a host CPU profile (empty path = no-op).
+	StartCPUProfile = obs.StartCPUProfile
+	// WriteHeapProfile writes a post-GC heap profile (empty path = no-op).
+	WriteHeapProfile = obs.WriteHeapProfile
+)
+
 // Run executes a scenario to completion.
 func Run(sc Scenario) (*Result, error) { return experiments.Run(sc) }
 
@@ -366,6 +395,9 @@ var (
 	// WeightsCeilHalf is the §4.2 profile (flow i weighs ⌈i/2⌉).
 	WeightsCeilHalf = topology.WeightsCeilHalf
 )
+
+// SeriesKind selects which per-flow series WriteCSV exports.
+type SeriesKind = trace.SeriesKind
 
 // Output kinds for WriteCSV.
 const (

@@ -1,6 +1,7 @@
 package corelite_test
 
 import (
+	"bytes"
 	"context"
 	"math"
 	"strings"
@@ -211,5 +212,57 @@ func TestPublicREDDiscipline(t *testing.T) {
 	ratio := (res.Flow(2).AllowedRate.Final() / 2) / res.Flow(1).AllowedRate.Final()
 	if ratio < 0.6 || ratio > 1.6 {
 		t.Errorf("weighted fairness broke under RED: normalized ratio %.2f", ratio)
+	}
+}
+
+// TestPublicObsDeterminism is the observability layer's zero-perturbation
+// guarantee at the public API level: running the same figure scenario with
+// the full telemetry stack attached (counters, gauges, sampler, control
+// events) produces byte-identical figure CSVs to a run with it off. The
+// sampler adds scheduler events but draws no randomness and mutates no
+// model state.
+func TestPublicObsDeterminism(t *testing.T) {
+	base := corelite.Fig5Scenario(1)
+	base.Duration = 25 * time.Second
+
+	renderAll := func(res *corelite.Result) []byte {
+		var buf bytes.Buffer
+		for _, kind := range []corelite.SeriesKind{
+			corelite.SeriesAllowed, corelite.SeriesReceived, corelite.SeriesCumulative,
+		} {
+			if err := corelite.WriteCSV(&buf, res, kind); err != nil {
+				t.Fatalf("WriteCSV %v: %v", kind, err)
+			}
+		}
+		return buf.Bytes()
+	}
+
+	plainRes, err := corelite.Run(base)
+	if err != nil {
+		t.Fatalf("plain run: %v", err)
+	}
+
+	observed := base
+	reg := corelite.NewObsRegistry()
+	observed.Obs = reg
+	obsRes, err := corelite.Run(observed)
+	if err != nil {
+		t.Fatalf("observed run: %v", err)
+	}
+
+	// The telemetry must actually have been captured — an inert registry
+	// would make the equality below vacuous.
+	sum := reg.Summary()
+	if sum.Samples == 0 || sum.Events == 0 || sum.FeedbackSent == 0 {
+		t.Fatalf("observed run captured no telemetry: %+v", sum)
+	}
+
+	if !bytes.Equal(renderAll(plainRes), renderAll(obsRes)) {
+		t.Error("figure CSV output differs between obs-on and obs-off runs")
+	}
+	// The only permitted difference is the processed-event count: exactly
+	// one scheduler event per sampling instant.
+	if extra := obsRes.Events - plainRes.Events; extra != uint64(sum.Samples) {
+		t.Errorf("event count grew by %d, want exactly the %d sampler ticks", extra, sum.Samples)
 	}
 }

@@ -78,6 +78,11 @@ func (p Phase) String() string {
 	}
 }
 
+// PhaseHook observes controller phase transitions (including Start and
+// Stop). It is a plain function type so this package stays free of any
+// observability dependency; the edge routers wire it to the telemetry layer.
+type PhaseHook func(oldPhase, newPhase Phase, oldRate, newRate float64)
+
 // Controller adapts one flow's allowed rate b_g(f). It is driven by the
 // owning edge router: Start at flow activation, then OnEpoch once per edge
 // epoch with the epoch's congestion-indication count.
@@ -86,6 +91,9 @@ type Controller struct {
 	rate       float64
 	phase      Phase
 	lastDouble time.Duration
+
+	// Hook, when non-nil, fires after every phase transition.
+	Hook PhaseHook
 }
 
 // NewController returns a stopped controller; the rate is zero until Start.
@@ -105,21 +113,33 @@ func (c *Controller) Rate() float64 { return c.rate }
 // Phase reports the current phase (zero before Start).
 func (c *Controller) Phase() Phase { return c.phase }
 
+// notify fires the phase hook if the phase moved away from (oldPhase,
+// oldRate).
+func (c *Controller) notify(oldPhase Phase, oldRate float64) {
+	if c.Hook != nil && c.phase != oldPhase {
+		c.Hook(oldPhase, c.phase, oldRate, c.rate)
+	}
+}
+
 // Start (re)initializes the controller at time now: initial rate, slow-start
 // phase.
 func (c *Controller) Start(now time.Duration) {
+	oldPhase, oldRate := c.phase, c.rate
 	c.rate = c.cfg.InitialRate
 	if c.rate < c.cfg.MinRate {
 		c.rate = c.cfg.MinRate
 	}
 	c.phase = PhaseSlowStart
 	c.lastDouble = now
+	c.notify(oldPhase, oldRate)
 }
 
 // Stop zeroes the rate; Start must be called before reuse.
 func (c *Controller) Stop() {
+	oldPhase, oldRate := c.phase, c.rate
 	c.rate = 0
 	c.phase = 0
+	c.notify(oldPhase, oldRate)
 }
 
 // ApplyIndications applies n congestion indications immediately, without
@@ -130,6 +150,7 @@ func (c *Controller) ApplyIndications(now time.Duration, n float64) float64 {
 	if n <= 0 {
 		return c.rate
 	}
+	oldPhase, oldRate := c.phase, c.rate
 	switch c.phase {
 	case PhaseSlowStart:
 		c.rate /= 2
@@ -140,6 +161,7 @@ func (c *Controller) ApplyIndications(now time.Duration, n float64) float64 {
 		return c.rate
 	}
 	c.clamp()
+	c.notify(oldPhase, oldRate)
 	return c.rate
 }
 
@@ -170,6 +192,7 @@ func (c *Controller) TickEpoch(now time.Duration, hadFeedback bool) float64 {
 // feedbacks for Corelite, losses for CSFQ). It returns the new allowed
 // rate.
 func (c *Controller) OnEpoch(now time.Duration, indications float64) float64 {
+	oldPhase, oldRate := c.phase, c.rate
 	switch c.phase {
 	case PhaseSlowStart:
 		if indications > 0 {
@@ -199,5 +222,6 @@ func (c *Controller) OnEpoch(now time.Duration, indications float64) float64 {
 		return c.rate
 	}
 	c.clamp()
+	c.notify(oldPhase, oldRate)
 	return c.rate
 }

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/adapt"
 	"repro/internal/netem"
+	"repro/internal/obs"
 	"repro/internal/packet"
 	"repro/internal/sim"
 	"repro/internal/workload"
@@ -68,6 +69,10 @@ type Edge struct {
 
 	flows  []*edgeFlow
 	ticker *sim.Event
+
+	// ctrMarkers counts markers injected into the data stream (inert when
+	// observability is off).
+	ctrMarkers *obs.Counter
 }
 
 // ratePipe is the per-flow packet path the edge controls: a backlogged
@@ -120,7 +125,40 @@ func NewEdge(net *netem.Network, node *netem.Node, cfg EdgeConfig) *Edge {
 	if cfg.Adapt == (adapt.Config{}) {
 		cfg.Adapt = adapt.DefaultConfig()
 	}
-	return &Edge{net: net, node: node, cfg: cfg}
+	e := &Edge{net: net, node: node, cfg: cfg}
+	e.ctrMarkers = net.Obs().Counter("edge/" + node.Name() + "/markers-injected")
+	return e
+}
+
+// registerFlowObs publishes a new flow's allowed rate and adaptation phase
+// as gauges and wires its controller's phase transitions into the control
+// event stream. No-op when the network has no registry attached.
+func (e *Edge) registerFlowObs(f *edgeFlow) {
+	reg := e.net.Obs()
+	if !reg.Enabled() {
+		return
+	}
+	id := f.id.String()
+	reg.GaugeFunc(obs.PrefixRate+id, f.ctrl.Rate)
+	reg.GaugeFunc(obs.PrefixPhase+id, func() float64 { return float64(f.ctrl.Phase()) })
+	node := e.node.Name()
+	f.ctrl.Hook = func(oldPhase, newPhase adapt.Phase, oldRate, newRate float64) {
+		reg.Emit(obs.ControlEvent{
+			At: e.net.Now(), Kind: obs.KindPhaseChange,
+			Node: node, Flow: id,
+			Old: oldRate, New: newRate,
+			Detail: phaseName(oldPhase) + "->" + phaseName(newPhase),
+		})
+	}
+}
+
+// phaseName renders an adapt.Phase for event details, naming the
+// not-started zero phase "stopped".
+func phaseName(p adapt.Phase) string {
+	if p == 0 {
+		return "stopped"
+	}
+	return p.String()
 }
 
 // Node reports the ingress node this edge controls.
@@ -166,6 +204,7 @@ func (e *Edge) AddFlowContract(dst string, weight, minRate float64) (int, error)
 	f.pipe = src
 	f.sent = src.Sent
 	e.flows = append(e.flows, f)
+	e.registerFlowObs(f)
 	return local, nil
 }
 
@@ -201,6 +240,7 @@ func (e *Edge) AddShapedFlow(weight, minRate float64, queueCap int) (int, error)
 	f.sent = sh.Released
 	f.shaper = sh
 	e.flows = append(e.flows, f)
+	e.registerFlowObs(f)
 	return local, nil
 }
 
@@ -273,6 +313,7 @@ func (e *Edge) decorate(f *edgeFlow, p *packet.Packet) {
 			Flow: f.id,
 			Rate: (rate - f.minRate) / f.weight,
 		}
+		e.ctrMarkers.Inc()
 	}
 }
 

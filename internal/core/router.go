@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"repro/internal/netem"
+	"repro/internal/obs"
 	"repro/internal/packet"
 	"repro/internal/sim"
 	"repro/internal/workload"
@@ -163,6 +164,12 @@ type Router struct {
 	links  []*linkState
 	ticker *sim.Event
 	stats  RouterStats
+
+	// Observability (all inert when the network has no registry attached).
+	obs            *obs.Registry
+	ctrMarkersSeen *obs.Counter
+	ctrFeedback    *obs.Counter
+	ctrEpochs      *obs.Counter
 }
 
 var _ netem.Forwarder = (*Router)(nil)
@@ -178,6 +185,11 @@ type linkState struct {
 	// DampingGamma).
 	sentThisEpoch int
 	outstanding   float64
+	// lastFn is the detector's most recent raw F_n (published as the
+	// "fn/<link>" gauge); congested tracks epoch-boundary transitions for
+	// the control-event stream.
+	lastFn    float64
+	congested bool
 }
 
 // selector is the per-link marker feedback mechanism.
@@ -198,6 +210,11 @@ type selector interface {
 func NewRouter(net *netem.Network, node *netem.Node, cfg RouterConfig, rng *sim.RNG, feedback FeedbackFunc) *Router {
 	cfg = normalizeRouterConfig(cfg)
 	r := &Router{net: net, node: node, cfg: cfg, rng: rng, feedback: feedback}
+	reg := net.Obs()
+	r.obs = reg
+	r.ctrMarkersSeen = reg.Counter("core/" + node.Name() + "/markers-seen")
+	r.ctrFeedback = reg.Counter("core/" + node.Name() + obs.SuffixFeedbackSent)
+	r.ctrEpochs = reg.Counter("core/" + node.Name() + obs.SuffixCongestionEpochs)
 	links := node.Links()
 	// Deterministic order regardless of map iteration.
 	for i := 0; i < len(links); i++ {
@@ -213,11 +230,26 @@ func NewRouter(net *netem.Network, node *netem.Node, cfg RouterConfig, rng *sim.
 			mu:       l.PacketsPerSecond(cfg.PacketSizeBytes) * cfg.Epoch.Seconds(),
 			detector: newDetector(cfg, l),
 		}
+		name := l.Name()
+		reg.GaugeFunc(obs.PrefixFn+name, func() float64 { return ls.lastFn })
 		switch cfg.Selector {
 		case SelectorCache:
-			ls.selector = newCacheSelector(cfg.CacheSize, rng, r.emit(ls))
+			cs := newCacheSelector(cfg.CacheSize, rng, r.emit(ls))
+			cs.cached = reg.Counter("marker/" + name + "/cached")
+			cs.evicted = reg.Counter("marker/" + name + "/evicted")
+			ls.selector = cs
 		default:
-			ls.selector = newStatelessSelector(cfg.RAvgGain, cfg.WAvgGain, rng, r.emit(ls))
+			ss := newStatelessSelector(cfg.RAvgGain, cfg.WAvgGain, rng, r.emit(ls))
+			ss.deficitCtr = reg.Counter("marker/" + name + "/deficit")
+			if reg.Enabled() {
+				ss.onDeficit = func(rate, rav float64) {
+					reg.Emit(obs.ControlEvent{
+						At: net.Now(), Kind: obs.KindMarkerDeficit,
+						Node: node.Name(), Link: name, Old: rate, New: rav,
+					})
+				}
+			}
+			ls.selector = ss
 		}
 		r.links = append(r.links, ls)
 	}
@@ -278,6 +310,14 @@ func (r *Router) emit(ls *linkState) func(packet.Marker) {
 	return func(m packet.Marker) {
 		r.stats.FeedbackSent++
 		ls.sentThisEpoch++
+		r.ctrFeedback.Inc()
+		if r.obs.Enabled() {
+			r.obs.Emit(obs.ControlEvent{
+				At: r.net.Now(), Kind: obs.KindMarkerSelected,
+				Node: r.node.Name(), Link: coreID,
+				Flow: m.Flow.String(), New: m.Rate,
+			})
+		}
 		r.feedback(m, coreID)
 	}
 }
@@ -293,6 +333,7 @@ func (r *Router) OnForward(p *packet.Packet, out *netem.Link) bool {
 		for _, ls := range r.links {
 			if ls.link == out {
 				r.stats.MarkersSeen++
+				r.ctrMarkersSeen.Inc()
 				ls.selector.observe(*p.Marker)
 				break
 			}
@@ -337,8 +378,28 @@ func (r *Router) onEpoch() {
 	for _, ls := range r.links {
 		qavg := ls.link.Monitor().EndEpoch(now)
 		fn := ls.detector.endEpoch(now, qavg)
+		ls.lastFn = fn
 		if fn > 0 {
 			r.stats.CongestionEpochs++
+			r.ctrEpochs.Inc()
+		}
+		if r.obs.Enabled() {
+			switch {
+			case fn > 0 && !ls.congested:
+				ls.congested = true
+				r.obs.Emit(obs.ControlEvent{
+					At: now, Kind: obs.KindEpochStart,
+					Node: r.node.Name(), Link: ls.link.Name(),
+					QAvg: qavg, Fn: fn,
+				})
+			case fn <= 0 && ls.congested:
+				ls.congested = false
+				r.obs.Emit(obs.ControlEvent{
+					At: now, Kind: obs.KindEpochEnd,
+					Node: r.node.Name(), Link: ls.link.Name(),
+					QAvg: qavg,
+				})
+			}
 		}
 		// Discount feedback still in flight (see DampingGamma).
 		gamma := r.cfg.DampingGamma

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"repro/internal/obs"
 	"repro/internal/packet"
 	"repro/internal/sim"
 )
@@ -17,6 +18,12 @@ type cacheSelector struct {
 	full bool
 	rng  *sim.RNG
 	send func(packet.Marker)
+
+	// cached counts markers inserted; evicted counts cache slots
+	// overwritten (the cache's aging). Both are nil-safe no-ops when
+	// observability is off.
+	cached  *obs.Counter
+	evicted *obs.Counter
 }
 
 var _ selector = (*cacheSelector)(nil)
@@ -37,6 +44,10 @@ func (c *cacheSelector) size() int {
 }
 
 func (c *cacheSelector) observe(m packet.Marker) {
+	c.cached.Inc()
+	if c.full {
+		c.evicted.Inc()
+	}
 	c.ring[c.next] = m
 	c.next++
 	if c.next == len(c.ring) {
@@ -89,6 +100,11 @@ type statelessSelector struct {
 	// pw > 0 means a feedback quota is armed for the current epoch.
 	pw      float64
 	deficit int
+
+	// deficitCtr counts deficit armings; onDeficit (nil when observability
+	// is off) reports each arming with the marker's rate and current r_av.
+	deficitCtr *obs.Counter
+	onDeficit  func(rate, rav float64)
 }
 
 var _ selector = (*statelessSelector)(nil)
@@ -115,6 +131,10 @@ func (s *statelessSelector) observe(m packet.Marker) {
 		} else {
 			// Swap with a future above-average marker.
 			s.deficit++
+			s.deficitCtr.Inc()
+			if s.onDeficit != nil {
+				s.onDeficit(m.Rate, s.rav)
+			}
 		}
 	case s.deficit > 0 && m.Rate >= s.rav:
 		s.send(m)

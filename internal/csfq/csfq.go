@@ -18,6 +18,7 @@ import (
 
 	"repro/internal/adapt"
 	"repro/internal/netem"
+	"repro/internal/obs"
 	"repro/internal/packet"
 	"repro/internal/sim"
 	"repro/internal/workload"
@@ -107,7 +108,39 @@ func (e *Edge) AddFlow(dst string, weight float64) (int, error) {
 	})
 	f.src.Decorate = func(p *packet.Packet) { e.label(f, p) }
 	e.flows = append(e.flows, f)
+	e.registerFlowObs(f)
 	return local, nil
+}
+
+// registerFlowObs publishes a new flow's agent rate and adaptation phase as
+// gauges and wires its controller's phase transitions into the control
+// event stream. No-op when the network has no registry attached.
+func (e *Edge) registerFlowObs(f *edgeFlow) {
+	reg := e.net.Obs()
+	if !reg.Enabled() {
+		return
+	}
+	id := f.id.String()
+	reg.GaugeFunc(obs.PrefixRate+id, f.ctrl.Rate)
+	reg.GaugeFunc(obs.PrefixPhase+id, func() float64 { return float64(f.ctrl.Phase()) })
+	node := e.node.Name()
+	f.ctrl.Hook = func(oldPhase, newPhase adapt.Phase, oldRate, newRate float64) {
+		reg.Emit(obs.ControlEvent{
+			At: e.net.Now(), Kind: obs.KindPhaseChange,
+			Node: node, Flow: id,
+			Old: oldRate, New: newRate,
+			Detail: phaseName(oldPhase) + "->" + phaseName(newPhase),
+		})
+	}
+}
+
+// phaseName renders an adapt.Phase for event details, naming the
+// not-started zero phase "stopped".
+func phaseName(p adapt.Phase) string {
+	if p == 0 {
+		return "stopped"
+	}
+	return p.String()
 }
 
 // label stamps a packet with the flow's current normalized rate estimate,

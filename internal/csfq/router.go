@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"repro/internal/netem"
+	"repro/internal/obs"
 	"repro/internal/packet"
 	"repro/internal/sim"
 )
@@ -55,11 +56,18 @@ type Router struct {
 
 	links map[*netem.Link]*linkState
 	stats RouterStats
+
+	// Observability (all inert when the network has no registry attached).
+	obs             *obs.Registry
+	ctrArrived      *obs.Counter
+	ctrDroppedEarly *obs.Counter
+	ctrRelabelled   *obs.Counter
 }
 
 var _ netem.Forwarder = (*Router)(nil)
 
 type linkState struct {
+	name     string
 	capacity float64 // pkt/s
 
 	// Exponentially averaged arrival (A) and acceptance (F) rates.
@@ -96,8 +104,12 @@ func NewRouter(net *netem.Network, node *netem.Node, cfg RouterConfig, rng *sim.
 		rng:   rng,
 		links: make(map[*netem.Link]*linkState),
 	}
+	r.obs = net.Obs()
+	r.ctrArrived = r.obs.Counter("csfq/" + node.Name() + "/arrived")
+	r.ctrDroppedEarly = r.obs.Counter("csfq/" + node.Name() + "/dropped-early")
+	r.ctrRelabelled = r.obs.Counter("csfq/" + node.Name() + "/relabelled")
 	for _, l := range node.Links() {
-		r.links[l] = &linkState{capacity: l.PacketsPerSecond(cfg.PacketSizeBytes)}
+		r.addLink(l)
 	}
 	node.SetForwarder(r)
 	// Buffer overflows slightly deflate α (the estimated fair share was
@@ -107,10 +119,33 @@ func NewRouter(net *netem.Network, node *netem.Node, cfg RouterConfig, rng *sim.
 			return
 		}
 		if st, ok := r.links[d.Link]; ok && st.alpha > 0 {
+			old := st.alpha
 			st.alpha *= 1 - r.cfg.OverflowDecay
+			r.emitAlpha(st, d.At, old, "overflow-decay")
 		}
 	})
 	return r
+}
+
+// addLink adopts one outgoing link, publishing its fair-share estimate as
+// the "alpha/<link>" gauge.
+func (r *Router) addLink(l *netem.Link) *linkState {
+	st := &linkState{name: l.Name(), capacity: l.PacketsPerSecond(r.cfg.PacketSizeBytes)}
+	r.links[l] = st
+	r.obs.GaugeFunc(obs.PrefixAlpha+st.name, func() float64 { return st.alpha })
+	return st
+}
+
+// emitAlpha records a fair-share re-estimation in the control event stream.
+func (r *Router) emitAlpha(st *linkState, at time.Duration, old float64, rule string) {
+	if !r.obs.Enabled() {
+		return
+	}
+	r.obs.Emit(obs.ControlEvent{
+		At: at, Kind: obs.KindAlphaUpdate,
+		Node: r.node.Name(), Link: st.name,
+		Old: old, New: st.alpha, Detail: rule,
+	})
 }
 
 // Stats returns a copy of the router's counters.
@@ -130,11 +165,11 @@ func (r *Router) OnForward(p *packet.Packet, out *netem.Link) bool {
 	st, ok := r.links[out]
 	if !ok {
 		// Link added after construction; adopt it.
-		st = &linkState{capacity: out.PacketsPerSecond(r.cfg.PacketSizeBytes)}
-		r.links[out] = st
+		st = r.addLink(out)
 	}
 	now := r.net.Now()
 	r.stats.Arrived++
+	r.ctrArrived.Inc()
 
 	st.arrRate = ewmaRate(st.arrRate, st.lastArr, now, r.cfg.K, st.hasArr)
 	st.lastArr = now
@@ -154,6 +189,7 @@ func (r *Router) OnForward(p *packet.Packet, out *netem.Link) bool {
 
 	if drop {
 		r.stats.DroppedEarly++
+		r.ctrDroppedEarly.Inc()
 		return false
 	}
 	st.accRate = ewmaRate(st.accRate, st.lastAcc, now, r.cfg.K, st.hasAcc)
@@ -162,6 +198,7 @@ func (r *Router) OnForward(p *packet.Packet, out *netem.Link) bool {
 	if st.alpha > 0 && p.Label > st.alpha {
 		p.Label = st.alpha
 		r.stats.Relabelled++
+		r.ctrRelabelled.Inc()
 	}
 	return true
 }
@@ -183,10 +220,15 @@ func (r *Router) updateAlpha(st *linkState, now time.Duration, label float64) {
 				} else if label > 0 {
 					st.alpha = label
 				}
+				if st.alpha > 0 {
+					r.emitAlpha(st, now, 0, "seed")
+				}
 			}
 		} else if now-st.winStart >= r.cfg.KLink {
 			if st.accRate > 0 && st.alpha > 0 {
+				old := st.alpha
 				st.alpha *= st.capacity / st.accRate
+				r.emitAlpha(st, now, old, "congested-window")
 			}
 			st.winStart = now
 		}
@@ -203,7 +245,11 @@ func (r *Router) updateAlpha(st *linkState, now time.Duration, label float64) {
 	}
 	if now-st.winStart >= r.cfg.KLink {
 		if st.tmpAlpha > 0 {
+			old := st.alpha
 			st.alpha = st.tmpAlpha
+			if st.alpha != old {
+				r.emitAlpha(st, now, old, "uncongested-window")
+			}
 		}
 		st.winStart = now
 		st.tmpAlpha = 0

@@ -13,6 +13,7 @@ import (
 	"repro/internal/maxmin"
 	"repro/internal/metrics"
 	"repro/internal/netem"
+	"repro/internal/obs"
 	"repro/internal/packet"
 	"repro/internal/sim"
 	"repro/internal/topology"
@@ -110,6 +111,15 @@ type Scenario struct {
 	// Tracer, when non-nil, receives every packet-level event
 	// (enqueue/dequeue/receive/drop) in ns-2-like form.
 	Tracer netem.Tracer
+
+	// Obs, when non-nil, records control-plane telemetry for the run:
+	// counters and gauges from every router plus the structured control
+	// event stream. The registry must be fresh (one registry per run).
+	Obs *obs.Registry
+	// ObsSample is the simulated-time gauge sampling interval: 0 defaults
+	// to 100 ms (the epoch length); negative disables time-series sampling
+	// while keeping counters and events.
+	ObsSample time.Duration
 }
 
 // Transport selects a flow's packet producer.
@@ -323,6 +333,18 @@ func Run(sc Scenario) (*Result, error) {
 	net := cloud.Net
 	if sc.Tracer != nil {
 		net.SetTracer(sc.Tracer)
+	}
+	if sc.Obs != nil {
+		// Attach before router/edge construction: instruments are grabbed
+		// once at construction time.
+		net.SetObs(sc.Obs)
+		every := sc.ObsSample
+		if every == 0 {
+			every = 100 * time.Millisecond
+		}
+		if every > 0 {
+			sc.Obs.StartSampler(sched, every, sc.Duration)
+		}
 	}
 
 	rec := metrics.NewFlowRecorder(sc.SampleWindow)

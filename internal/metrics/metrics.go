@@ -71,6 +71,8 @@ type flowState struct {
 	windowCount int64
 	total       int64
 	lastFlush   time.Duration
+	lastDeliver time.Duration
+	hasDeliver  bool
 	rate        Series
 	cumulative  Series
 	losses      int64
@@ -103,6 +105,19 @@ func (r *FlowRecorder) Deliver(f packet.FlowID, now time.Duration) {
 	st := r.state(f)
 	st.windowCount++
 	st.total++
+	st.lastDeliver = now
+	st.hasDeliver = true
+}
+
+// LastDelivery reports when flow f's most recent packet reached the egress,
+// and false if nothing has been delivered (or the flow is unknown). The
+// gap between this and the run's end exposes flows that were starved or
+// stopped early — a silence the windowed rate series only shows as zeros.
+func (r *FlowRecorder) LastDelivery(f packet.FlowID) (time.Duration, bool) {
+	if st, ok := r.flows[f]; ok && st.hasDeliver {
+		return st.lastDeliver, true
+	}
+	return 0, false
 }
 
 // Lose records a dropped packet of flow f.

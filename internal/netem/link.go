@@ -3,6 +3,7 @@ package netem
 import (
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/packet"
 )
 
@@ -69,6 +70,15 @@ func (l *Link) PacketsPerSecond(sizeBytes int) float64 {
 		return 0
 	}
 	return l.rateBps / (8 * float64(sizeBytes))
+}
+
+// registerObs publishes the link's instantaneous queue length as a
+// function-backed gauge: the queue is read only at sampling instants, so the
+// enqueue/dequeue path is untouched.
+func (l *Link) registerObs(reg *obs.Registry) {
+	reg.GaugeFunc(obs.PrefixQueue+l.name, func() float64 {
+		return float64(l.queue.Len())
+	})
 }
 
 // serviceTime is the time the transmitter is occupied by p.

@@ -5,6 +5,7 @@ import (
 	"sort"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/packet"
 	"repro/internal/sim"
 )
@@ -62,6 +63,11 @@ type Network struct {
 	pathDelay map[[2]string]time.Duration
 
 	tracer Tracer
+
+	obs *obs.Registry
+	// dropCtr is indexed by DropReason; nil entries make counting a no-op,
+	// so the drop path never branches on whether observability is attached.
+	dropCtr [DropNoRoute + 1]*obs.Counter
 }
 
 // New returns an empty network driven by sched.
@@ -161,6 +167,9 @@ func (n *Network) AddLink(from, to string, cfg LinkConfig) (*Link, error) {
 	}
 	src.links[to] = l
 	n.links = append(n.links, l)
+	if n.obs != nil {
+		l.registerObs(n.obs)
+	}
 	return l, nil
 }
 
@@ -185,10 +194,30 @@ func (n *Network) Connect(a, b string, cfg LinkConfig) (ab, ba *Link, err error)
 // OnDrop registers fn to be invoked for every dropped packet.
 func (n *Network) OnDrop(fn func(Drop)) { n.onDrop = append(n.onDrop, fn) }
 
+// SetObs attaches an observability registry: per-reason drop counters and a
+// queue-length gauge per link (links added later register themselves). Call
+// it before traffic starts; a nil registry detaches.
+func (n *Network) SetObs(reg *obs.Registry) {
+	n.obs = reg
+	for r := DropOverflow; r <= DropNoRoute; r++ {
+		n.dropCtr[r] = reg.Counter(obs.PrefixDrop + r.String())
+	}
+	for _, l := range n.links {
+		l.registerObs(reg)
+	}
+}
+
+// Obs reports the attached observability registry (nil when detached — the
+// nil registry hands out inert instruments, so callers need not check).
+func (n *Network) Obs() *obs.Registry { return n.obs }
+
 func (n *Network) notifyDrop(d Drop) {
 	where := d.Node
 	if d.Link != nil {
 		where = d.Link.Name()
+	}
+	if int(d.Reason) < len(n.dropCtr) {
+		n.dropCtr[d.Reason].Inc()
 	}
 	n.trace(TraceEvent{At: d.At, Kind: EventDrop, Where: where, Packet: d.Packet, Reason: d.Reason})
 	for _, fn := range n.onDrop {

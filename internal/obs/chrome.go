@@ -1,0 +1,198 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"time"
+)
+
+// chromeEvent is one entry of the Chrome trace_event JSON array. Field order
+// follows the trace-viewer docs; encoding/json keeps struct fields in
+// declaration order and sorts map keys, so the output is deterministic.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`
+	Dur  float64        `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	S    string         `json:"s,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+const chromePid = 1
+
+// usec converts simulated time to the trace_event microsecond timescale.
+func usec(d time.Duration) float64 {
+	return float64(d) / float64(time.Microsecond)
+}
+
+// WriteChromeTrace renders the run's control events and sampled gauge series
+// in Chrome trace_event format, loadable in chrome://tracing or Perfetto.
+// Each router link/flow becomes its own named track: congestion epochs
+// appear as complete ("X") slices, marker selections and phase changes as
+// instants ("i"), and every sampled gauge as a counter ("C") track.
+func (r *Registry) WriteChromeTrace(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	// Track ids are assigned in first-seen order so the timeline layout is
+	// stable across runs.
+	tids := make(map[string]int)
+	var trackOrder []string
+	tid := func(track string) int {
+		if id, ok := tids[track]; ok {
+			return id
+		}
+		id := len(tids) + 1
+		tids[track] = id
+		trackOrder = append(trackOrder, track)
+		return id
+	}
+
+	// The end of the timeline, for closing congestion epochs still open at
+	// scenario end.
+	var last time.Duration
+	if n := len(r.sampleAt); n > 0 {
+		last = r.sampleAt[n-1]
+	}
+	if n := len(r.events); n > 0 && r.events[n-1].At > last {
+		last = r.events[n-1].At
+	}
+
+	var out []chromeEvent
+	open := make(map[string]ControlEvent) // track -> unmatched epoch-start
+	var openOrder []string
+	for _, e := range r.events {
+		switch e.Kind {
+		case KindEpochStart:
+			track := "core " + e.Link
+			tid(track)
+			if _, dup := open[track]; !dup {
+				openOrder = append(openOrder, track)
+			}
+			open[track] = e
+		case KindEpochEnd:
+			track := "core " + e.Link
+			start, ok := open[track]
+			if !ok {
+				// Unmatched end: render as an instant rather than
+				// inventing a span.
+				out = append(out, chromeEvent{
+					Name: e.Kind.String(), Ph: "i", Ts: usec(e.At),
+					Pid: chromePid, Tid: tid(track), S: "t",
+					Args: map[string]any{"qavg": e.QAvg},
+				})
+				continue
+			}
+			delete(open, track)
+			out = append(out, chromeEvent{
+				Name: "congestion", Ph: "X",
+				Ts: usec(start.At), Dur: usec(e.At - start.At),
+				Pid: chromePid, Tid: tid(track),
+				Args: map[string]any{
+					"qavg_start": start.QAvg, "fn": start.Fn, "qavg_end": e.QAvg,
+				},
+			})
+		case KindPhaseChange:
+			track := "flow " + e.Flow
+			name := e.Detail
+			if name == "" {
+				name = e.Kind.String()
+			}
+			out = append(out, chromeEvent{
+				Name: name, Ph: "i", Ts: usec(e.At),
+				Pid: chromePid, Tid: tid(track), S: "t",
+				Args: map[string]any{"old_rate": e.Old, "new_rate": e.New},
+			})
+		case KindAlphaUpdate:
+			track := "csfq " + e.Link
+			out = append(out, chromeEvent{
+				Name: e.Kind.String(), Ph: "i", Ts: usec(e.At),
+				Pid: chromePid, Tid: tid(track), S: "t",
+				Args: map[string]any{"old": e.Old, "new": e.New, "rule": e.Detail},
+			})
+		default: // marker-selected, marker-deficit, future kinds
+			track := "core " + e.Link
+			args := map[string]any{}
+			if e.Flow != "" {
+				args["flow"] = e.Flow
+			}
+			if e.Old != 0 {
+				args["old"] = e.Old
+			}
+			if e.New != 0 {
+				args["rate"] = e.New
+			}
+			out = append(out, chromeEvent{
+				Name: e.Kind.String(), Ph: "i", Ts: usec(e.At),
+				Pid: chromePid, Tid: tid(track), S: "t", Args: args,
+			})
+		}
+	}
+	// Close epochs that never ended, in the order they opened.
+	for _, track := range openOrder {
+		start, ok := open[track]
+		if !ok {
+			continue
+		}
+		delete(open, track)
+		out = append(out, chromeEvent{
+			Name: "congestion", Ph: "X",
+			Ts: usec(start.At), Dur: usec(last - start.At),
+			Pid: chromePid, Tid: tids[track],
+			Args: map[string]any{"qavg_start": start.QAvg, "fn": start.Fn, "open": true},
+		})
+	}
+
+	// Sampled gauges become counter tracks (tid 0 — counters render in
+	// their own lane regardless).
+	for gi, g := range r.gauges {
+		for si, t := range r.sampleAt {
+			v := r.series[gi][si]
+			if math.IsNaN(v) {
+				continue
+			}
+			out = append(out, chromeEvent{
+				Name: g.name, Ph: "C", Ts: usec(t),
+				Pid: chromePid, Args: map[string]any{"value": v},
+			})
+		}
+	}
+
+	// Metadata first: the process name, then one thread_name per track in
+	// first-seen order.
+	meta := make([]chromeEvent, 0, len(trackOrder)+1)
+	meta = append(meta, chromeEvent{
+		Name: "process_name", Ph: "M", Pid: chromePid,
+		Args: map[string]any{"name": "corelite-sim"},
+	})
+	for _, track := range trackOrder {
+		meta = append(meta, chromeEvent{
+			Name: "thread_name", Ph: "M", Pid: chromePid, Tid: tids[track],
+			Args: map[string]any{"name": track},
+		})
+	}
+	out = append(meta, out...)
+
+	if _, err := io.WriteString(w, "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n"); err != nil {
+		return err
+	}
+	for i, ev := range out {
+		b, err := json.Marshal(ev)
+		if err != nil {
+			return err
+		}
+		sep := ",\n"
+		if i == len(out)-1 {
+			sep = "\n"
+		}
+		if _, err := fmt.Fprintf(w, "%s%s", b, sep); err != nil {
+			return err
+		}
+	}
+	_, err := io.WriteString(w, "]}\n")
+	return err
+}

@@ -1,0 +1,54 @@
+package obs
+
+import (
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite the Chrome trace golden file")
+
+// TestWriteChromeTraceGolden pins the exporter's exact output. The golden
+// file doubles as documentation of the timeline layout; regenerate with
+//
+//	go test ./internal/obs -run ChromeTraceGolden -update-golden
+func TestWriteChromeTraceGolden(t *testing.T) {
+	var buf strings.Builder
+	if err := testRegistry().WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got := buf.String()
+
+	// Must be valid JSON with the trace_event top-level shape regardless of
+	// golden drift.
+	var doc struct {
+		DisplayTimeUnit string           `json:"displayTimeUnit"`
+		TraceEvents     []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal([]byte(got), &doc); err != nil {
+		t.Fatalf("exporter emitted invalid JSON: %v\n%s", err, got)
+	}
+	if doc.DisplayTimeUnit != "ms" || len(doc.TraceEvents) == 0 {
+		t.Fatalf("unexpected trace shape: unit=%q events=%d", doc.DisplayTimeUnit, len(doc.TraceEvents))
+	}
+
+	path := filepath.Join("testdata", "chrome_trace.golden.json")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update-golden): %v", err)
+	}
+	if got != string(want) {
+		t.Fatalf("Chrome trace drifted from golden file %s\n got:\n%s\nwant:\n%s", path, got, want)
+	}
+}

@@ -1,0 +1,82 @@
+package obs
+
+import (
+	"fmt"
+	"time"
+)
+
+// ControlKind classifies control-plane events — the layer between the
+// packet-level tracer (netem.Tracer) and the end-of-run figure metrics.
+type ControlKind uint8
+
+// Control event kinds.
+const (
+	// KindEpochStart: a core link entered a congestion epoch — the
+	// detector's F_n went positive after a quiet epoch. QAvg carries the
+	// epoch's time-averaged queue length, Fn the raw feedback demand.
+	KindEpochStart ControlKind = iota + 1
+	// KindEpochEnd: the congestion cleared (F_n back to zero). QAvg
+	// carries the closing epoch's average queue.
+	KindEpochEnd
+	// KindMarkerSelected: a marker was selected for feedback — drawn from
+	// the §2.2 cache or picked by the §3.2 stateless r_av/p_w path. Flow
+	// identifies the marked flow; New carries the marker's normalized
+	// rate.
+	KindMarkerSelected
+	// KindMarkerDeficit: the stateless selector hit a below-average
+	// marker and armed its deficit counter instead of bouncing it
+	// (Old = the marker's rate, New = the current r_av).
+	KindMarkerDeficit
+	// KindPhaseChange: an edge flow's rate controller changed phase
+	// (slow-start ↔ linear / LIMD, including start and stop). Old/New
+	// carry b_g(f) before and after; Detail names the transition.
+	KindPhaseChange
+	// KindAlphaUpdate: a CSFQ core re-estimated a link's fair share
+	// (Old/New carry α before and after; Detail says which rule fired).
+	KindAlphaUpdate
+)
+
+// String implements fmt.Stringer.
+func (k ControlKind) String() string {
+	switch k {
+	case KindEpochStart:
+		return "epoch-start"
+	case KindEpochEnd:
+		return "epoch-end"
+	case KindMarkerSelected:
+		return "marker-selected"
+	case KindMarkerDeficit:
+		return "marker-deficit"
+	case KindPhaseChange:
+		return "phase-change"
+	case KindAlphaUpdate:
+		return "alpha-update"
+	default:
+		return fmt.Sprintf("ControlKind(%d)", int(k))
+	}
+}
+
+// ControlEvent is one structured control-plane event. Unused fields stay
+// zero; which fields carry meaning is documented per ControlKind.
+type ControlEvent struct {
+	// At is the simulated time of the event.
+	At time.Duration
+	// Kind classifies the event.
+	Kind ControlKind
+	// Node is the router (core) or edge node where the event occurred.
+	Node string
+	// Link names the outgoing link, when the event is per-link.
+	Link string
+	// Flow identifies the flow, when the event is per-flow.
+	Flow string
+	// QAvg is the epoch's time-averaged queue length (epoch events).
+	QAvg float64
+	// Fn is the detector's raw feedback demand (epoch events).
+	Fn float64
+	// Old and New carry a value transition (rates for phase changes,
+	// α for CSFQ updates).
+	Old float64
+	New float64
+	// Detail is a short free-form qualifier (e.g. "slow-start->linear").
+	Detail string
+}

@@ -29,6 +29,7 @@ import (
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/obs"
 )
 
 // Job pairs a stable name with the scenario spec to execute. The name keys
@@ -62,6 +63,10 @@ type Stats struct {
 	Dropped   int64
 	// EventsPerSec is Events over Wall.
 	EventsPerSec float64
+	// Telemetry summarizes the job's control-plane health (events by
+	// kind, peak queue, congestion epochs); nil when the job ran without
+	// an observability registry.
+	Telemetry *obs.Summary
 }
 
 // Result is one job's outcome. Index is the job's position in the batch
@@ -76,6 +81,10 @@ type Result struct {
 	Output *experiments.Result
 	// Stats carries per-run instrumentation.
 	Stats Stats
+	// Obs is the job's telemetry registry (the scenario's own, or the one
+	// the pool attached under Config.Observe); nil when observability was
+	// off.
+	Obs *obs.Registry
 	// Err is the scenario error, the captured panic, or the context
 	// error for jobs cancelled before they started.
 	Err error
@@ -101,12 +110,22 @@ type Config struct {
 	// for progress reporting; ordered output belongs after Execute
 	// returns.
 	OnDone func(Result)
+	// Observe attaches a fresh telemetry registry to every job whose
+	// scenario does not already carry one (registries are single-run, so
+	// parallel jobs never share). Summaries land in Stats.Telemetry.
+	Observe bool
+	// ObsSample is the gauge sampling interval for pool-attached
+	// registries (0 → the experiments default; negative disables
+	// sampling).
+	ObsSample time.Duration
 }
 
 // Pool executes job batches on a bounded set of worker goroutines.
 type Pool struct {
-	workers int
-	onDone  func(Result)
+	workers   int
+	onDone    func(Result)
+	observe   bool
+	obsSample time.Duration
 }
 
 // New returns a pool with the configured worker bound.
@@ -115,7 +134,7 @@ func New(cfg Config) *Pool {
 	if w <= 0 {
 		w = runtime.GOMAXPROCS(0)
 	}
-	return &Pool{workers: w, onDone: cfg.OnDone}
+	return &Pool{workers: w, onDone: cfg.OnDone, observe: cfg.Observe, obsSample: cfg.ObsSample}
 }
 
 // Workers reports the pool's worker bound.
@@ -162,7 +181,7 @@ func (p *Pool) Execute(ctx context.Context, jobs []Job) ([]Result, error) {
 		go func() {
 			defer wg.Done()
 			for i := range feed {
-				res := execute(i, jobs[i])
+				res := p.execute(i, jobs[i])
 				results[i] = res
 				if p.onDone != nil {
 					doneMu.Lock()
@@ -189,8 +208,14 @@ func (p *Pool) Execute(ctx context.Context, jobs []Job) ([]Result, error) {
 
 // execute runs one job, converting a panicking scenario into a failed
 // result instead of a dead process.
-func execute(index int, job Job) (res Result) {
+func (p *Pool) execute(index int, job Job) (res Result) {
 	res = Result{Index: index, Job: job}
+	sc := job.Scenario
+	if sc.Obs == nil && p.observe {
+		sc.Obs = obs.NewRegistry()
+		sc.ObsSample = p.obsSample
+	}
+	res.Obs = sc.Obs
 	start := time.Now()
 	defer func() {
 		if r := recover(); r != nil {
@@ -207,9 +232,13 @@ func execute(index int, job Job) (res Result) {
 			if s := res.Stats.Wall.Seconds(); s > 0 {
 				res.Stats.EventsPerSec = float64(res.Stats.Events) / s
 			}
+			if res.Obs != nil {
+				sum := res.Obs.Summary()
+				res.Stats.Telemetry = &sum
+			}
 		}
 	}()
-	res.Output, res.Err = experiments.Run(job.Scenario)
+	res.Output, res.Err = experiments.Run(sc)
 	return res
 }
 

@@ -11,6 +11,7 @@ import (
 
 	"repro/internal/experiments"
 	"repro/internal/netem"
+	"repro/internal/obs"
 	"repro/internal/trace"
 )
 
@@ -217,6 +218,77 @@ func TestOnDoneObservesEveryJob(t *testing.T) {
 	for _, j := range jobs {
 		if !got[j.Name] {
 			t.Errorf("OnDone never saw job %q", j.Name)
+		}
+	}
+}
+
+// TestObservePerJobRegistries checks that Config.Observe attaches a fresh
+// registry to every job — never shared between parallel jobs — and fills
+// Stats.Telemetry, while leaving figure output byte-identical to an
+// unobserved batch.
+func TestObservePerJobRegistries(t *testing.T) {
+	jobs := shortBatch()[:4]
+	plain := New(Config{Workers: 4})
+	plainResults, err := plain.Execute(context.Background(), jobs)
+	if err != nil {
+		t.Fatalf("plain execute: %v", err)
+	}
+	observed := New(Config{Workers: 4, Observe: true})
+	obsResults, err := observed.Execute(context.Background(), jobs)
+	if err != nil {
+		t.Fatalf("observed execute: %v", err)
+	}
+
+	seen := map[*obs.Registry]string{}
+	for _, r := range obsResults {
+		if r.Err != nil {
+			t.Fatalf("job %q: %v", r.Job.Name, r.Err)
+		}
+		if r.Obs == nil {
+			t.Fatalf("job %q has no registry under Observe", r.Job.Name)
+		}
+		if prev, dup := seen[r.Obs]; dup {
+			t.Fatalf("jobs %q and %q share a registry", prev, r.Job.Name)
+		}
+		seen[r.Obs] = r.Job.Name
+		tel := r.Stats.Telemetry
+		if tel == nil {
+			t.Fatalf("job %q has no telemetry summary", r.Job.Name)
+		}
+		if tel.Samples == 0 || tel.Events == 0 {
+			t.Errorf("job %q telemetry looks empty: %+v", r.Job.Name, *tel)
+		}
+	}
+	for _, r := range plainResults {
+		if r.Obs != nil || r.Stats.Telemetry != nil {
+			t.Fatalf("job %q carries telemetry without Observe", r.Job.Name)
+		}
+	}
+
+	// Figure CSVs must be byte-identical — the sampler draws no randomness
+	// and mutates no model state. The only permitted difference is the
+	// processed-event count, which grows by exactly one event per sampling
+	// instant.
+	renderCSV := func(results []Result) []byte {
+		var buf bytes.Buffer
+		for _, r := range results {
+			for _, kind := range []trace.SeriesKind{trace.SeriesAllowed, trace.SeriesReceived, trace.SeriesCumulative} {
+				if err := trace.WriteCSV(&buf, r.Output, kind); err != nil {
+					t.Fatalf("WriteCSV %q: %v", r.Job.Name, err)
+				}
+			}
+		}
+		return buf.Bytes()
+	}
+	if !bytes.Equal(renderCSV(plainResults), renderCSV(obsResults)) {
+		t.Error("observability changed figure CSV output")
+	}
+	for i := range obsResults {
+		extra := obsResults[i].Stats.Events - plainResults[i].Stats.Events
+		samples := uint64(obsResults[i].Stats.Telemetry.Samples)
+		if extra != samples {
+			t.Errorf("job %q: event count grew by %d, want exactly the %d sampler ticks",
+				obsResults[i].Job.Name, extra, samples)
 		}
 	}
 }

@@ -56,16 +56,21 @@ func seriesOf(f experiments.FlowResult, kind SeriesKind) metrics.Series {
 
 // WriteCSV writes "time_s,flow1,flow2,..." rows for the chosen series. Rows
 // are emitted at the result's sample-window granularity; missing samples
-// render as empty cells.
+// render as empty cells. Rows are assembled into one reused buffer
+// (strconv.Append*, no per-cell string concatenation), so cost stays linear
+// in cells — this path renders every figure of an evaluation batch.
 func WriteCSV(w io.Writer, res *experiments.Result, kind SeriesKind) error {
 	if res == nil {
 		return fmt.Errorf("trace: nil result")
 	}
-	header := "time_s"
+	buf := make([]byte, 0, 16*(len(res.Flows)+1))
+	buf = append(buf, "time_s"...)
 	for _, f := range res.Flows {
-		header += fmt.Sprintf(",flow%d", f.Index)
+		buf = append(buf, ",flow"...)
+		buf = strconv.AppendInt(buf, int64(f.Index), 10)
 	}
-	if _, err := fmt.Fprintln(w, header); err != nil {
+	buf = append(buf, '\n')
+	if _, err := w.Write(buf); err != nil {
 		return err
 	}
 
@@ -93,14 +98,16 @@ func WriteCSV(w io.Writer, res *experiments.Result, kind SeriesKind) error {
 	}
 
 	for _, t := range times {
-		row := strconv.FormatFloat(t.Seconds(), 'f', 3, 64)
+		buf = buf[:0]
+		buf = strconv.AppendFloat(buf, t.Seconds(), 'f', 3, 64)
 		for i := range res.Flows {
-			row += ","
+			buf = append(buf, ',')
 			if v, ok := perFlow[i][t]; ok {
-				row += strconv.FormatFloat(v, 'f', 3, 64)
+				buf = strconv.AppendFloat(buf, v, 'f', 3, 64)
 			}
 		}
-		if _, err := fmt.Fprintln(w, row); err != nil {
+		buf = append(buf, '\n')
+		if _, err := w.Write(buf); err != nil {
 			return err
 		}
 	}
