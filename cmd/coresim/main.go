@@ -19,6 +19,10 @@
 // into DIR (rN.-prefixed per replica); trace.json loads in chrome://tracing
 // or Perfetto. -cpuprofile and -memprofile write host pprof profiles of the
 // simulation.
+//
+// With -check each run carries the runtime invariant checker (packet/byte
+// conservation, queue bounds, marker accounting, fairness residual vs the
+// max-min oracle); any violation is printed and fails the command.
 package main
 
 import (
@@ -62,6 +66,8 @@ func run(args []string, stdout io.Writer) error {
 		runs     = fs.Int("runs", 1, "seed replicas of the scenario (derived per-run seeds)")
 		parallel = fs.Int("parallel", runtime.GOMAXPROCS(0), "concurrent replicas (1 = serial)")
 		obsDir   = fs.String("obs", "", "directory for control-plane telemetry (events JSONL/CSV, sampled series, Chrome trace)")
+		check    = fs.Bool("check", false, "attach the runtime invariant checker (conservation, queue bounds, marker accounting, fairness residual); violations fail the run")
+		checkTol = fs.Float64("check-tol", 0.05, "fairness-residual tolerance for -check")
 		cpuProf  = fs.String("cpuprofile", "", "write a host CPU profile of the simulation to this file")
 		memProf  = fs.String("memprofile", "", "write a post-run heap profile to this file")
 	)
@@ -135,6 +141,9 @@ func run(args []string, stdout io.Writer) error {
 		if *obsDir != "" {
 			rsc.Obs = corelite.NewObsRegistry()
 		}
+		if *check {
+			rsc.Check = corelite.NewInvariantChecker(corelite.InvariantConfig{FairnessTol: *checkTol})
+		}
 		jobs[i] = corelite.Job{Name: name, Scenario: rsc}
 	}
 
@@ -168,6 +177,11 @@ func run(args []string, stdout io.Writer) error {
 		if *runs > 1 {
 			fmt.Fprintf(stdout, "run %s (seed %d): %d events, %d losses\n",
 				r.Job.Name, jobs[i].Scenario.Seed, r.Stats.Events, r.Stats.Dropped)
+		}
+		if *check {
+			if err := reportViolations(stdout, r.Job.Name, r.Output.Violations, r.Output.InvariantChecks); err != nil {
+				return err
+			}
 		}
 		if *summary {
 			if err := corelite.WriteSummary(stdout, r.Output); err != nil {
@@ -209,6 +223,19 @@ func run(args []string, stdout io.Writer) error {
 		}
 	}
 	return nil
+}
+
+// reportViolations prints the invariant-checker verdict for one run and
+// returns an error when any invariant was breached.
+func reportViolations(stdout io.Writer, name string, violations []corelite.InvariantViolation, checks int64) error {
+	if len(violations) == 0 {
+		fmt.Fprintf(stdout, "check %s: %d invariant checks passed\n", name, checks)
+		return nil
+	}
+	for _, v := range violations {
+		fmt.Fprintf(stdout, "check %s: VIOLATION %s\n", name, v)
+	}
+	return fmt.Errorf("run %s: %d invariant violation(s)", name, len(violations))
 }
 
 func writeCSVFile(path string, res *corelite.Result, kind trace.SeriesKind) error {

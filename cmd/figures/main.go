@@ -15,6 +15,11 @@
 // a Chrome trace_event timeline — into DIR. The figure CSVs are
 // byte-identical with telemetry on or off. -cpuprofile/-memprofile write
 // host pprof profiles.
+//
+// With -check every figure run carries the runtime invariant checker
+// (conservation, queue bounds, marker accounting, fairness residual vs the
+// max-min oracle, with a per-figure tolerance); any violation fails the
+// command. The CSVs are byte-identical with the checker on or off.
 package main
 
 import (
@@ -116,6 +121,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	fs.Var(&figs, "fig", "figure number to regenerate (repeatable; default all)")
 	gnuplot := fs.Bool("gnuplot", false, "also write a gnuplot script per figure")
 	obsDir := fs.String("obs", "", "directory for per-figure control-plane telemetry (figN.events.jsonl, figN.series.csv, figN.trace.json, ...)")
+	check := fs.Bool("check", false, "attach the runtime invariant checker to every figure run (per-figure fairness tolerance); violations fail the command")
 	cpuProf := fs.String("cpuprofile", "", "write a host CPU profile of the batch to this file")
 	memProf := fs.String("memprofile", "", "write a post-run heap profile to this file")
 	if err := fs.Parse(args); err != nil {
@@ -138,9 +144,15 @@ func run(args []string, stdout, stderr io.Writer) error {
 		}
 		delete(want, fig.num)
 		selected = append(selected, fig)
+		sc := fig.scenario(*seed)
+		if *check {
+			sc.Check = corelite.NewInvariantChecker(corelite.InvariantConfig{
+				FairnessTol: corelite.FigureFairnessTol(sc.Name),
+			})
+		}
 		jobs = append(jobs, corelite.Job{
 			Name:     fmt.Sprintf("fig%d", fig.num),
-			Scenario: fig.scenario(*seed),
+			Scenario: sc,
 		})
 	}
 	if len(want) > 0 {
@@ -209,6 +221,15 @@ func run(args []string, stdout, stderr io.Writer) error {
 		fmt.Fprintf(stdout, "figure %2d: %s\n", fig.num, fig.legend)
 		fmt.Fprintf(stdout, "           %s (%d events, %d losses)\n",
 			path, res.Events, res.TotalLosses)
+		if *check {
+			if len(res.Violations) > 0 {
+				for _, v := range res.Violations {
+					fmt.Fprintf(stdout, "           VIOLATION %s\n", v)
+				}
+				return fmt.Errorf("figure %d: %d invariant violation(s)", fig.num, len(res.Violations))
+			}
+			fmt.Fprintf(stdout, "           check: %d invariant checks passed\n", res.InvariantChecks)
+		}
 		if *obsDir != "" {
 			if _, err := r.Obs.WriteDir(*obsDir, fmt.Sprintf("fig%d.", fig.num)); err != nil {
 				return err

@@ -10,11 +10,13 @@ package main
 import (
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"strconv"
 	"strings"
 
 	"repro/internal/analysis"
+	"repro/internal/maxmin"
 )
 
 func main() {
@@ -32,6 +34,7 @@ func run(args []string) error {
 	epochs := fs.Int("epochs", 20000, "epochs to iterate")
 	sample := fs.Int("sample", 1000, "print every N-th state")
 	tol := fs.Float64("tol", 0.1, "convergence tolerance for the summary")
+	check := fs.Bool("check", false, "verify the final fluid rates against the weighted max-min oracle (within -tol); a mismatch fails the command")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -72,6 +75,42 @@ func run(args []string) error {
 	} else {
 		fmt.Printf("\ndid not converge to within %.0f%% over %d epochs\n", *tol*100, *epochs)
 	}
+	if *check {
+		return checkOracle(traj.Final(), weights, *capacity, *tol)
+	}
+	return nil
+}
+
+// checkOracle is the fluid model's differential oracle: on a single
+// bottleneck the weighted max-min allocation is w_i/Σw · C, and the LIMD
+// fixed point must oscillate within tol of it.
+func checkOracle(final, weights []float64, capacity, tol float64) error {
+	p := maxmin.Problem{
+		Capacity: map[string]float64{"L": capacity},
+		Flows:    make(map[string]maxmin.Flow, len(weights)),
+	}
+	for i, w := range weights {
+		p.Flows[strconv.Itoa(i)] = maxmin.Flow{Weight: w, Links: []string{"L"}}
+	}
+	alloc, err := maxmin.Solve(p)
+	if err != nil {
+		return fmt.Errorf("check: oracle: %w", err)
+	}
+	worst := 0.0
+	for i := range weights {
+		want := alloc[strconv.Itoa(i)]
+		if want <= 0 {
+			continue
+		}
+		resid := math.Abs(final[i]-want) / want
+		if resid > worst {
+			worst = resid
+		}
+	}
+	if worst > tol {
+		return fmt.Errorf("check: worst residual vs max-min oracle %.1f%% exceeds %.1f%%", 100*worst, 100*tol)
+	}
+	fmt.Printf("check: final rates within %.1f%% of the weighted max-min oracle (tolerance %.0f%%)\n", 100*worst, 100*tol)
 	return nil
 }
 

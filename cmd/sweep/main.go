@@ -26,6 +26,7 @@ import (
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/invariant"
 	"repro/internal/obs"
 	"repro/internal/run"
 )
@@ -44,6 +45,8 @@ func mainRun(args []string, stdout, stderr io.Writer) error {
 	duration := fs.Duration("duration", 80*time.Second, "simulated duration per point")
 	parallel := fs.Int("parallel", runtime.GOMAXPROCS(0), "concurrent sweep points (1 = serial)")
 	obsDir := fs.String("obs", "", "directory for per-point control-plane telemetry bundles")
+	check := fs.Bool("check", false, "attach the runtime invariant checker to every sweep point; violations fail the command")
+	checkTol := fs.Float64("check-tol", 0.25, "fairness-residual tolerance for -check (wide by default: sweep points intentionally include badly tuned settings)")
 	cpuProf := fs.String("cpuprofile", "", "write a host CPU profile of the sweep to this file")
 	memProf := fs.String("memprofile", "", "write a post-run heap profile to this file")
 	if err := fs.Parse(args); err != nil {
@@ -67,6 +70,11 @@ func mainRun(args []string, stdout, stderr io.Writer) error {
 	base := experiments.Fig5Scenario(*seed)
 	base.Duration = *duration
 	scs := experiments.SweepScenarios(base, points)
+	if *check {
+		for i := range scs {
+			scs[i].Check = invariant.New(invariant.Config{FairnessTol: *checkTol})
+		}
+	}
 
 	pool := run.New(run.Config{
 		Workers: *parallel,
@@ -104,6 +112,14 @@ func mainRun(args []string, stdout, stderr io.Writer) error {
 		r := experiments.Summarize(points[i].Label, scs[i], res.Output)
 		fmt.Fprintf(stdout, "%-16s %-10d %-12.4f %-8.4f %-12v %-10v\n",
 			r.Label, r.Losses, r.LossRatio, r.Jain, r.WorstConv.Round(time.Second), r.AllConverged)
+		if *check {
+			if n := len(res.Output.Violations); n > 0 {
+				for _, v := range res.Output.Violations {
+					fmt.Fprintf(stdout, "  VIOLATION %s\n", v)
+				}
+				return fmt.Errorf("sweep point %q: %d invariant violation(s)", points[i].Label, n)
+			}
+		}
 		if *obsDir != "" {
 			if _, err := res.Obs.WriteDir(*obsDir, obs.FilePrefix(res.Job.Name)); err != nil {
 				return err

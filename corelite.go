@@ -47,6 +47,7 @@ import (
 	"repro/internal/csfq"
 	"repro/internal/experiments"
 	"repro/internal/host"
+	"repro/internal/invariant"
 	"repro/internal/metrics"
 	"repro/internal/netem"
 	"repro/internal/obs"
@@ -271,6 +272,35 @@ var (
 	StartCPUProfile = obs.StartCPUProfile
 	// WriteHeapProfile writes a post-GC heap profile (empty path = no-op).
 	WriteHeapProfile = obs.WriteHeapProfile
+)
+
+// Correctness harness (package internal/invariant): attach a fresh
+// InvariantChecker to Scenario.Check to verify packet/byte conservation,
+// queue bounds, Corelite marker accounting, and the fairness residual
+// against the weighted max-min oracle while a scenario runs. Findings come
+// back as structured Violations in Result.Violations; sweeps read counters
+// only, so figure output is byte-identical with the checker on or off.
+type (
+	// InvariantChecker enforces simulation invariants during a run.
+	InvariantChecker = invariant.Checker
+	// InvariantConfig tunes sweep interval, fairness tolerance, and the
+	// violation retention cap.
+	InvariantConfig = invariant.Config
+	// InvariantViolation is one breached invariant (time, site,
+	// expected/actual).
+	InvariantViolation = invariant.Violation
+	// InvariantRule identifies which invariant a violation breaches.
+	InvariantRule = invariant.Rule
+)
+
+// Correctness harness constructors and helpers.
+var (
+	// NewInvariantChecker builds a checker (zero Config = defaults:
+	// 1s sweeps, 5% fairness tolerance).
+	NewInvariantChecker = invariant.New
+	// FigureFairnessTol maps a figure scenario name to the fairness
+	// tolerance appropriate for it.
+	FigureFairnessTol = experiments.FigureFairnessTol
 )
 
 // Run executes a scenario to completion.

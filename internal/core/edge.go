@@ -70,6 +70,10 @@ type Edge struct {
 	flows  []*edgeFlow
 	ticker *sim.Event
 
+	// markersInjected counts markers stamped onto outgoing packets; the
+	// invariant checker reconciles the sum over edges against the
+	// network's marker counters.
+	markersInjected int64
 	// ctrMarkers counts markers injected into the data stream (inert when
 	// observability is off).
 	ctrMarkers *obs.Counter
@@ -313,9 +317,14 @@ func (e *Edge) decorate(f *edgeFlow, p *packet.Packet) {
 			Flow: f.id,
 			Rate: (rate - f.minRate) / f.weight,
 		}
+		e.markersInjected++
 		e.ctrMarkers.Inc()
 	}
 }
+
+// MarkersInjected reports how many markers this edge has stamped onto
+// outgoing packets.
+func (e *Edge) MarkersInjected() int64 { return e.markersInjected }
 
 // flow validates a local id.
 func (e *Edge) flow(local int) (*edgeFlow, error) {

@@ -325,6 +325,37 @@ func (r *Router) emit(ls *linkState) func(packet.Marker) {
 // Stats returns a copy of the router counters.
 func (r *Router) Stats() RouterStats { return r.stats }
 
+// Name reports the name of the node this router is attached to.
+func (r *Router) Name() string { return r.node.Name() }
+
+// CacheStats is the marker-cache accounting of one router (summed over its
+// links): every marker ever inserted is either still held in a cache slot
+// or was evicted by a later insertion, so Inserted == Held + Evicted.
+type CacheStats struct {
+	Inserted int64
+	Held     int64
+	Evicted  int64
+}
+
+// CacheStats aggregates marker-cache accounting over the router's links. It
+// reports false when the router runs the stateless selector (no cache to
+// account for).
+func (r *Router) CacheStats() (CacheStats, bool) {
+	var cs CacheStats
+	found := false
+	for _, ls := range r.links {
+		c, ok := ls.selector.(*cacheSelector)
+		if !ok {
+			continue
+		}
+		found = true
+		cs.Inserted += c.insertedN
+		cs.Held += int64(c.size())
+		cs.Evicted += c.evictedN
+	}
+	return cs, found
+}
+
 // OnForward implements netem.Forwarder. The core router's forwarding
 // behaviour is deliberately simple: copy the piggybacked marker into the
 // link's selector (no per-flow processing) and always forward.

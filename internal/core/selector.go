@@ -19,6 +19,12 @@ type cacheSelector struct {
 	rng  *sim.RNG
 	send func(packet.Marker)
 
+	// insertedN / evictedN are plain accounting counters the invariant
+	// checker reads: insertedN == size() + evictedN must hold at all times
+	// (every marker ever inserted is either still held or was overwritten).
+	insertedN int64
+	evictedN  int64
+
 	// cached counts markers inserted; evicted counts cache slots
 	// overwritten (the cache's aging). Both are nil-safe no-ops when
 	// observability is off.
@@ -44,8 +50,10 @@ func (c *cacheSelector) size() int {
 }
 
 func (c *cacheSelector) observe(m packet.Marker) {
+	c.insertedN++
 	c.cached.Inc()
 	if c.full {
+		c.evictedN++
 		c.evicted.Inc()
 	}
 	c.ring[c.next] = m

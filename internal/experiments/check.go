@@ -1,0 +1,89 @@
+package experiments
+
+import (
+	"sort"
+	"time"
+
+	"repro/internal/invariant"
+	"repro/internal/topology"
+)
+
+// steadyWindow finds the last interval of the run over which the set of
+// active flows is constant and non-empty. Schedule start/stop instants (with
+// stops resolved against the horizon, exactly as the runner resolves them)
+// partition the run into intervals of constant membership; walking the
+// partition backwards yields the window the fairness oracle is compared
+// over.
+func steadyWindow(sc Scenario, placements []topology.Placement) (from, to time.Duration, active map[int]bool, ok bool) {
+	bset := map[time.Duration]bool{0: true, sc.Duration: true}
+	for _, pl := range placements {
+		for _, iv := range scheduleOf(sc, pl.Index) {
+			stop := iv.Stop
+			if stop == 0 || stop > sc.Duration {
+				stop = sc.Duration
+			}
+			if iv.Start >= stop {
+				continue
+			}
+			bset[iv.Start] = true
+			bset[stop] = true
+		}
+	}
+	bounds := make([]time.Duration, 0, len(bset))
+	for b := range bset {
+		bounds = append(bounds, b)
+	}
+	sort.Slice(bounds, func(i, j int) bool { return bounds[i] < bounds[j] })
+
+	for i := len(bounds) - 1; i > 0; i-- {
+		lo, hi := bounds[i-1], bounds[i]
+		mid := lo + (hi-lo)/2
+		act := make(map[int]bool)
+		for _, pl := range placements {
+			if scheduleOf(sc, pl.Index).ActiveAt(mid, sc.Duration) {
+				act[pl.Index] = true
+			}
+		}
+		if len(act) > 0 {
+			return lo, hi, act, true
+		}
+	}
+	return 0, 0, nil, false
+}
+
+// checkFairness feeds the invariant checker's differential oracle: measured
+// steady-state goodput per flow versus the weighted max-min allocation for
+// the flows active over the last steady window. The goodput is averaged
+// over the window's second half so convergence transients right after the
+// last membership change do not count against the residual. TCP-transport
+// flows are skipped (their goodput is congestion-control-, not
+// shaper-limited), as are windows shorter than the configured minimum.
+func checkFairness(sc Scenario, cloud *topology.Cloud, res *Result) {
+	cfg := sc.Check.Config()
+	from, to, active, ok := steadyWindow(sc, cloud.Placements)
+	if !ok || to-from < cfg.MinSteady {
+		return
+	}
+	expected, err := expectedRates(sc, cloud, active)
+	if err != nil {
+		return
+	}
+	mid := from + (to-from)/2
+	rates := make([]invariant.FlowRate, 0, len(res.Flows))
+	for i := range res.Flows {
+		f := &res.Flows[i]
+		if !active[f.Index] || sc.Transports[f.Index] == TransportTCP {
+			continue
+		}
+		exp, found := expected[f.Index]
+		if !found {
+			continue
+		}
+		rates = append(rates, invariant.FlowRate{
+			Index:    f.Index,
+			Expected: exp,
+			Measured: f.ReceiveRate.MeanOver(mid, to),
+		})
+	}
+	sc.Check.CheckFairness(to, rates)
+}

@@ -10,6 +10,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/csfq"
 	"repro/internal/host"
+	"repro/internal/invariant"
 	"repro/internal/maxmin"
 	"repro/internal/metrics"
 	"repro/internal/netem"
@@ -120,6 +121,13 @@ type Scenario struct {
 	// to 100 ms (the epoch length); negative disables time-series sampling
 	// while keeping counters and events.
 	ObsSample time.Duration
+
+	// Check, when non-nil, attaches the runtime invariant checker: periodic
+	// conservation/queue/marker sweeps during the run, a final sweep at the
+	// horizon, and a fairness-residual comparison against the max-min
+	// oracle over the last steady window. Like Obs, the checker must be
+	// fresh (one checker per run); findings surface in Result.Violations.
+	Check *invariant.Checker
 }
 
 // Transport selects a flow's packet producer.
@@ -197,6 +205,12 @@ type Result struct {
 	SampleWindow time.Duration
 	// Duration echoes the simulated horizon.
 	Duration time.Duration
+	// Violations holds the invariant checker's findings, nil when no
+	// checker was attached (Scenario.Check) or when every check passed.
+	Violations []invariant.Violation
+	// InvariantChecks counts the individual invariant comparisons that ran
+	// (0 when no checker was attached).
+	InvariantChecks int64
 }
 
 // Flow returns the result for a flow index, or nil.
@@ -346,6 +360,7 @@ func Run(sc Scenario) (*Result, error) {
 			sc.Obs.StartSampler(sched, every, sc.Duration)
 		}
 	}
+	sc.Check.Attach(net)
 
 	rec := metrics.NewFlowRecorder(sc.SampleWindow)
 
@@ -372,6 +387,7 @@ func Run(sc Scenario) (*Result, error) {
 		case SchemeCorelite:
 			e := core.NewEdge(net, node, sc.EdgeConfig)
 			coreliteEdges[pl.Ingress] = e
+			sc.Check.ObserveEdge(e)
 			agent = e
 			if sc.Transports[pl.Index] == TransportTCP {
 				local, err = e.AddShapedFlow(pl.Weight, sc.MinRates[pl.Index], 0)
@@ -425,6 +441,7 @@ func Run(sc Scenario) (*Result, error) {
 		}
 		for _, name := range coreNodes {
 			r := core.NewRouter(net, net.Node(name), sc.RouterConfig, rng.Stream("router-"+name), feedbackFor(name))
+			sc.Check.ObserveRouter(r)
 			r.Start()
 		}
 		// Corelite drops (should not happen in the loss-free scenarios)
@@ -508,10 +525,14 @@ func Run(sc Scenario) (*Result, error) {
 		}
 	}
 	sched.MustAt(sc.SampleWindow, sampler)
+	sc.Check.Start(sched, sc.Duration)
 
 	if err := sched.Run(sc.Duration); err != nil {
 		return nil, fmt.Errorf("run scenario %q: %w", sc.Name, err)
 	}
+	// Final structural sweep at the horizon (the periodic sweeps stop at
+	// the last multiple of the interval).
+	sc.Check.Sweep(net.Now())
 
 	expected, err := expectedRates(sc, cloud, nil)
 	if err != nil {
@@ -538,6 +559,11 @@ func Run(sc Scenario) (*Result, error) {
 		}
 		res.TotalLosses += fr.Losses
 		res.Flows = append(res.Flows, fr)
+	}
+	if sc.Check.Enabled() {
+		checkFairness(sc, cloud, res)
+		res.Violations = sc.Check.Violations()
+		res.InvariantChecks = sc.Check.Checks()
 	}
 	return res, nil
 }

@@ -13,12 +13,28 @@ type LinkStats struct {
 	Enqueued int64
 	// Transmitted counts packets fully serviced onto the wire.
 	Transmitted int64
+	// Arrived counts packets that completed propagation and were handed to
+	// the far node. Enqueued − Arrived is the number of packets the link
+	// currently holds (queued, in service, or propagating), the per-link
+	// term of the netem conservation invariant (see NetStats).
+	Arrived int64
 	// TxBytes counts bytes transmitted.
 	TxBytes int64
+	// EnqueuedBytes / ArrivedBytes are the byte-level counterparts of
+	// Enqueued / Arrived, for byte conservation.
+	EnqueuedBytes int64
+	ArrivedBytes  int64
 	// DroppedOverflow counts packets rejected by the discipline (buffer
 	// overflow or AQM early drop).
 	DroppedOverflow int64
 }
+
+// InFlight reports the packets the link currently holds: waiting in the
+// queue, occupying the transmitter, or propagating toward the far node.
+func (s LinkStats) InFlight() int64 { return s.Enqueued - s.Arrived }
+
+// InFlightBytes reports the bytes the link currently holds.
+func (s LinkStats) InFlightBytes() int64 { return s.EnqueuedBytes - s.ArrivedBytes }
 
 // Link is a unidirectional link with an output queue at the sending node, a
 // fixed transmission rate, and a fixed propagation delay. Its service model
@@ -64,6 +80,9 @@ func (l *Link) Monitor() *QueueMonitor { return l.monitor }
 // Stats returns a copy of the link counters.
 func (l *Link) Stats() LinkStats { return l.stats }
 
+// Busy reports whether a packet currently occupies the transmitter.
+func (l *Link) Busy() bool { return l.busy }
+
 // PacketsPerSecond reports the service rate for packets of size bytes.
 func (l *Link) PacketsPerSecond(sizeBytes int) float64 {
 	if sizeBytes <= 0 {
@@ -97,6 +116,7 @@ func (l *Link) send(p *packet.Packet) {
 		return
 	}
 	l.stats.Enqueued++
+	l.stats.EnqueuedBytes += int64(p.SizeBytes)
 	l.net.trace(TraceEvent{At: now, Kind: EventEnqueue, Where: l.name, Packet: p})
 	l.monitor.Observe(now, l.queue.Len())
 	if !l.busy {
@@ -121,7 +141,11 @@ func (l *Link) startService() {
 		l.stats.TxBytes += int64(p.SizeBytes)
 		// Propagation: the packet arrives at the far node Delay later;
 		// the transmitter is immediately free for the next packet.
-		l.net.sched.MustAfter(l.delay, func() { l.to.deliver(p) })
+		l.net.sched.MustAfter(l.delay, func() {
+			l.stats.Arrived++
+			l.stats.ArrivedBytes += int64(p.SizeBytes)
+			l.to.deliver(p)
+		})
 		l.startService()
 	})
 }

@@ -49,6 +49,33 @@ type Drop struct {
 	At     time.Duration
 }
 
+// NetStats aggregates network-wide conservation counters: everything that
+// entered the cloud (Inject), left it at its destination (delivery to the
+// addressed node's App), or was discarded. At any event boundary
+//
+//	Injected == Delivered + Dropped + Σ_links (Enqueued − Arrived)
+//
+// holds exactly — node processing is synchronous, so a packet in transit is
+// held by exactly one link (queued, in service, or propagating). The
+// invariant checker (internal/invariant) enforces this equality.
+type NetStats struct {
+	// Injected / Delivered / Dropped count packets.
+	Injected  int64
+	Delivered int64
+	Dropped   int64
+	// InjectedBytes / DeliveredBytes / DroppedBytes count packet payloads.
+	InjectedBytes  int64
+	DeliveredBytes int64
+	DroppedBytes   int64
+	// InjectedMarkers / DeliveredMarkers / DroppedMarkers count packets
+	// carrying a piggybacked Corelite marker. Core routers read markers
+	// without detaching them, so a marked packet that survives to its
+	// egress is counted in DeliveredMarkers.
+	InjectedMarkers  int64
+	DeliveredMarkers int64
+	DroppedMarkers   int64
+}
+
 // Network is a simulated network cloud: nodes, links, static shortest-path
 // routes, and a latency-faithful control plane for feedback messages.
 type Network struct {
@@ -57,6 +84,7 @@ type Network struct {
 	order  []string // node names in creation order, for determinism
 	links  []*Link
 	onDrop []func(Drop)
+	stats  NetStats
 
 	// pathDelay caches propagation latency between node pairs, filled by
 	// ComputeRoutes.
@@ -211,7 +239,15 @@ func (n *Network) SetObs(reg *obs.Registry) {
 // nil registry hands out inert instruments, so callers need not check).
 func (n *Network) Obs() *obs.Registry { return n.obs }
 
+// Stats returns a copy of the network-wide conservation counters.
+func (n *Network) Stats() NetStats { return n.stats }
+
 func (n *Network) notifyDrop(d Drop) {
+	n.stats.Dropped++
+	n.stats.DroppedBytes += int64(d.Packet.SizeBytes)
+	if d.Packet.Marker != nil {
+		n.stats.DroppedMarkers++
+	}
 	where := d.Node
 	if d.Link != nil {
 		where = d.Link.Name()

@@ -59,11 +59,23 @@ func (n *Node) Links() []*Link {
 
 // Inject hands a packet to the node as if it had been generated locally
 // (used by edge routers to launch shaped traffic into the cloud).
-func (n *Node) Inject(p *packet.Packet) { n.deliver(p) }
+func (n *Node) Inject(p *packet.Packet) {
+	n.net.stats.Injected++
+	n.net.stats.InjectedBytes += int64(p.SizeBytes)
+	if p.Marker != nil {
+		n.net.stats.InjectedMarkers++
+	}
+	n.deliver(p)
+}
 
 // deliver processes a packet arriving at (or originating from) the node.
 func (n *Node) deliver(p *packet.Packet) {
 	if p.Dst == n.name {
+		n.net.stats.Delivered++
+		n.net.stats.DeliveredBytes += int64(p.SizeBytes)
+		if p.Marker != nil {
+			n.net.stats.DeliveredMarkers++
+		}
 		n.net.trace(TraceEvent{At: n.net.sched.Now(), Kind: EventReceive, Where: n.name, Packet: p})
 		if n.app != nil {
 			n.app.Receive(p)

@@ -67,6 +67,9 @@ type Stats struct {
 	// kind, peak queue, congestion epochs); nil when the job ran without
 	// an observability registry.
 	Telemetry *obs.Summary
+	// Violations is the number of invariant-checker findings (0 when the
+	// scenario ran without a checker attached).
+	Violations int
 }
 
 // Result is one job's outcome. Index is the job's position in the batch
@@ -220,7 +223,7 @@ func (p *Pool) execute(index int, job Job) (res Result) {
 	defer func() {
 		if r := recover(); r != nil {
 			res.Output = nil
-			res.Err = fmt.Errorf("job %q panicked: %v\n%s", job.Name, r, debug.Stack())
+			res.Err = fmt.Errorf("job %d (%q) panicked: %v\n%s", index, job.Name, r, debug.Stack())
 		}
 		res.Stats.Wall = time.Since(start)
 		if res.Output != nil {
@@ -236,6 +239,7 @@ func (p *Pool) execute(index int, job Job) (res Result) {
 				sum := res.Obs.Summary()
 				res.Stats.Telemetry = &sum
 			}
+			res.Stats.Violations = len(res.Output.Violations)
 		}
 	}()
 	res.Output, res.Err = experiments.Run(sc)

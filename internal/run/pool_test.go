@@ -144,6 +144,11 @@ func TestPanicBecomesJobFailure(t *testing.T) {
 	if results[0].Err == nil || !strings.Contains(results[0].Err.Error(), "panicked") {
 		t.Errorf("panic not captured: %v", results[0].Err)
 	}
+	// The message names the job by batch index and by name, so a failure
+	// in a large sweep is findable without cross-referencing the output.
+	if results[0].Err != nil && !strings.Contains(results[0].Err.Error(), `job 0 ("bomb")`) {
+		t.Errorf("panic error does not identify the job: %v", results[0].Err)
+	}
 	if results[0].Output != nil {
 		t.Error("panicked job still produced output")
 	}

@@ -1,0 +1,39 @@
+package topospec
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// FuzzTopoSpec throws arbitrary text at the topology parser. The contract
+// under test: Parse never panics, any spec Parse accepts re-validates
+// cleanly (Parse runs Validate before returning, so a later Validate
+// failure is a parser bug), and Build on an accepted spec either succeeds
+// or returns an error — never panics.
+func FuzzTopoSpec(f *testing.F) {
+	f.Add("node A edge\nnode B core\nlink A B 1Mbps 1ms queue=8\nflow 0 A B weight=2\n")
+	f.Add("# comment only\n\n\n")
+	f.Add("node X edge\nnode X core\n")
+	f.Add("link A B 1Mbps\n")
+	f.Add("flow 0 A B weight=-1\n")
+	f.Add("node A edge\nnode B edge\nduplex A B 10Mbps 5ms\nflow 7 A B\n")
+	f.Add("node A edge\nnode B core\nlink A B 1Gbps 0ms queue=1\nlink A B 2Mbps 1ms\n")
+	f.Add("bogus directive here\n")
+	f.Add("node A edge\nnode B edge\nlink A B 0.5Mbps 1ms queue=999999\nflow 0 A B minrate=1kbps weight=3\nflow 1 B A\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		spec, err := Parse(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		if err := spec.Validate(); err != nil {
+			t.Fatalf("Parse accepted a spec that fails Validate: %v\ninput:\n%s", err, input)
+		}
+		// Build may reject specs that parse (e.g. duplicate links in the
+		// same direction) but must fail with an error, not a panic.
+		if _, err := spec.Build(sim.NewScheduler()); err != nil {
+			t.Logf("Build rejected parsed spec: %v", err)
+		}
+	})
+}

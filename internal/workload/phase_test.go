@@ -1,0 +1,119 @@
+package workload
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+// TestEpochPhaseBoundaries pins the modulo semantics at exact epoch
+// multiples, where an off-by-one would either double the first epoch or
+// collapse it to zero length.
+func TestEpochPhaseBoundaries(t *testing.T) {
+	epoch := 100 * time.Millisecond
+	cases := []struct {
+		configured time.Duration
+		want       time.Duration
+	}{
+		{epoch, 0},     // exactly one epoch wraps to zero
+		{3 * epoch, 0}, // any whole multiple wraps to zero
+		{-epoch, 0},    // negative multiple too
+		{epoch - time.Nanosecond, epoch - time.Nanosecond}, // just under stays put
+		{epoch + time.Nanosecond, time.Nanosecond},         // just over wraps
+		{-time.Nanosecond, epoch - time.Nanosecond},        // small negative wraps up
+	}
+	for _, c := range cases {
+		if got := EpochPhase(c.configured, epoch, "node"); got != c.want {
+			t.Errorf("EpochPhase(%v) = %v, want %v", c.configured, got, c.want)
+		}
+	}
+	// A negative epoch is as degenerate as a zero one.
+	if got := EpochPhase(50*time.Millisecond, -epoch, "node"); got != 0 {
+		t.Errorf("EpochPhase with negative epoch = %v, want 0", got)
+	}
+}
+
+// TestEpochPhaseSpread checks the point of name-derived phases: a
+// population of routers must not cluster on a handful of offsets, or the
+// de-synchronization the derivation exists for is lost.
+func TestEpochPhaseSpread(t *testing.T) {
+	epoch := 100 * time.Millisecond
+	distinct := make(map[time.Duration]bool)
+	for i := 0; i < 64; i++ {
+		p := EpochPhase(0, epoch, fmt.Sprintf("core-%d", i))
+		if p < 0 || p >= epoch {
+			t.Fatalf("phase %v outside [0, %v)", p, epoch)
+		}
+		distinct[p] = true
+	}
+	if len(distinct) < 32 {
+		t.Errorf("64 names produced only %d distinct phases", len(distinct))
+	}
+}
+
+// TestScheduleBoundarySemantics pins the half-open [Start, Stop) contract
+// at the exact boundary instants, which is where the experiment runner's
+// start/stop events fire.
+func TestScheduleBoundarySemantics(t *testing.T) {
+	dur := 100 * time.Second
+	w := Window(10*time.Second, 20*time.Second)
+	if !w.ActiveAt(10*time.Second, dur) {
+		t.Error("inactive at its own Start; the start boundary is inclusive")
+	}
+	if w.ActiveAt(20*time.Second-time.Nanosecond, dur) != true {
+		t.Error("inactive just before Stop")
+	}
+	if w.ActiveAt(20*time.Second, dur) {
+		t.Error("active at Stop; the stop boundary is exclusive")
+	}
+	// Back-to-back windows hand off without a gap or an overlap.
+	s := Schedule{{Start: 0, Stop: 10 * time.Second}, {Start: 10 * time.Second, Stop: 20 * time.Second}}
+	for _, at := range []time.Duration{0, 10*time.Second - time.Nanosecond, 10 * time.Second, 20*time.Second - time.Nanosecond} {
+		if !s.ActiveAt(at, dur) {
+			t.Errorf("back-to-back schedule inactive at %v", at)
+		}
+	}
+	if s.ActiveAt(20*time.Second, dur) {
+		t.Error("back-to-back schedule active past its last Stop")
+	}
+	// An open-ended interval resolves Stop to the run duration — and is
+	// therefore inactive at the horizon itself.
+	open := Schedule{{Start: 50 * time.Second}}
+	if !open.ActiveAt(dur-time.Nanosecond, dur) {
+		t.Error("open-ended interval inactive just before the horizon")
+	}
+	if open.ActiveAt(dur, dur) {
+		t.Error("open-ended interval active at the horizon")
+	}
+}
+
+// TestScheduleOverlappingIntervals: overlapping windows union — the flow is
+// active wherever at least one interval covers t, including instants
+// covered twice.
+func TestScheduleOverlappingIntervals(t *testing.T) {
+	dur := 100 * time.Second
+	s := Schedule{
+		{Start: 5 * time.Second, Stop: 30 * time.Second},
+		{Start: 20 * time.Second, Stop: 40 * time.Second},
+		{Start: 60 * time.Second}, // open-ended tail
+	}
+	cases := []struct {
+		at   time.Duration
+		want bool
+	}{
+		{4 * time.Second, false},
+		{5 * time.Second, true},
+		{25 * time.Second, true}, // covered by both of the first two
+		{30 * time.Second, true}, // first ends, second still covers
+		{39 * time.Second, true},
+		{40 * time.Second, false},
+		{59 * time.Second, false},
+		{60 * time.Second, true},
+		{99 * time.Second, true},
+	}
+	for _, c := range cases {
+		if got := s.ActiveAt(c.at, dur); got != c.want {
+			t.Errorf("ActiveAt(%v) = %v, want %v", c.at, got, c.want)
+		}
+	}
+}
