@@ -15,7 +15,12 @@ FUZZ_TIME ?= 30s
 # for refactors but fails the build if tests rot wholesale.
 COVERAGE_BASELINE ?= 85
 
-.PHONY: all build test race vet bench check profile fuzz cover
+# Benchmark selection for `make bench-json`; override for a quick subset,
+# e.g. make bench-json BENCH=BatchFiguresSerial BENCHTIME=1x
+BENCH ?= .
+BENCHTIME ?= 1x
+
+.PHONY: all build test race vet bench bench-json check profile fuzz cover
 
 all: build vet test
 
@@ -36,6 +41,21 @@ vet:
 
 bench:
 	$(GO) test -bench=. -benchmem
+
+# bench-json runs the benchmark suite and snapshots the results as
+# BENCH_<date>.json (ns/op, allocs/op, and each benchmark's custom metrics
+# such as Mevents/s). Commit a snapshot when a change is performance-relevant
+# so regressions show up as diffs.
+#
+# For statistically sound before/after comparisons use benchstat
+# (golang.org/x/perf/cmd/benchstat) on raw repeated runs instead:
+#
+#   go test -run '^$$' -bench BatchFiguresSerial -benchmem -count 10 > old.txt
+#   <apply change>
+#   go test -run '^$$' -bench BatchFiguresSerial -benchmem -count 10 > new.txt
+#   benchstat old.txt new.txt
+bench-json:
+	$(GO) run ./cmd/benchjson -bench '$(BENCH)' -benchtime $(BENCHTIME)
 
 # profile runs a short paper-topology simulation under the CPU profiler and
 # prints the top-10 hot functions. The pprof file and the telemetry bundle

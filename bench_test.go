@@ -35,7 +35,6 @@ func reportFairness(b *testing.B, sc corelite.Scenario, res *corelite.Result) {
 		}
 	}
 	b.ReportMetric(jain, "jain")
-	b.ReportMetric(float64(res.Events)/b.Elapsed().Seconds()/1e6*float64(b.N), "Mevents/s")
 }
 
 // reportConvergence adds the worst per-flow time to settle within tol of
@@ -64,10 +63,12 @@ func reportConvergence(b *testing.B, res *corelite.Result, tol float64) {
 
 // runScenario executes b.N seed replicas of the scenario through the run
 // pool (single worker, so per-figure timings stay comparable across
-// releases) and returns the last result.
+// releases), reports the event throughput accumulated over every iteration,
+// and returns the last result.
 func runScenario(b *testing.B, sc corelite.Scenario) *corelite.Result {
 	b.Helper()
 	var res *corelite.Result
+	var events uint64
 	for i := 0; i < b.N; i++ {
 		sc.Seed = int64(i + 1)
 		results, err := corelite.RunBatch(context.Background(), 1,
@@ -79,7 +80,9 @@ func runScenario(b *testing.B, sc corelite.Scenario) *corelite.Result {
 			b.Fatalf("run %s: %v", sc.Name, results[0].Err)
 		}
 		res = results[0].Output
+		events += res.Events
 	}
+	b.ReportMetric(float64(events)/b.Elapsed().Seconds()/1e6, "Mevents/s")
 	return res
 }
 
@@ -97,12 +100,11 @@ func benchFigureBatch(b *testing.B, workers int) {
 		if err := corelite.FirstJobErr(results); err != nil {
 			b.Fatal(err)
 		}
-		events = 0
 		for _, r := range results {
 			events += r.Stats.Events
 		}
 	}
-	b.ReportMetric(float64(events)/b.Elapsed().Seconds()/1e6*float64(b.N), "Mevents/s")
+	b.ReportMetric(float64(events)/b.Elapsed().Seconds()/1e6, "Mevents/s")
 	b.ReportMetric(float64(workers), "workers")
 }
 
@@ -453,9 +455,9 @@ func benchObs(b *testing.B, attach bool) {
 		if err != nil {
 			b.Fatalf("run: %v", err)
 		}
-		events = res.Events
+		events += res.Events
 	}
-	b.ReportMetric(float64(events)/b.Elapsed().Seconds()/1e6*float64(b.N), "Mevents/s")
+	b.ReportMetric(float64(events)/b.Elapsed().Seconds()/1e6, "Mevents/s")
 }
 
 // BenchmarkObsDisabled is the no-registry baseline: instruments are nil and

@@ -1,0 +1,202 @@
+// Command benchjson runs the repository's benchmark suite and writes the
+// results as a machine-readable JSON snapshot (BENCH_<date>.json by
+// default), so performance regressions show up as diffs between dated
+// snapshots instead of numbers lost in scrollback.
+//
+// Usage:
+//
+//	go run ./cmd/benchjson                        # full suite, 1x benchtime
+//	go run ./cmd/benchjson -bench BatchFiguresSerial -benchtime 1x
+//	go run ./cmd/benchjson -out BENCH_baseline.json
+//
+// Each benchmark entry records ns/op, B/op, allocs/op and every custom
+// metric the benchmarks report (Mevents/s, jain, losses/run, ...). For
+// statistical comparisons between two snapshots, prefer benchstat on the
+// raw output (see `make bench-json` notes in the Makefile).
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Result is one benchmark line, parsed from `go test -bench` output.
+type Result struct {
+	// Name is the benchmark name including the -N procs suffix Go appends
+	// (e.g. "BenchmarkBatchFiguresSerial-8").
+	Name string `json:"name"`
+	// Iterations is b.N for the reported run.
+	Iterations int64 `json:"iterations"`
+	// NsPerOp is the wall-clock cost per iteration.
+	NsPerOp float64 `json:"ns_per_op"`
+	// BytesPerOp / AllocsPerOp come from -benchmem.
+	BytesPerOp  float64 `json:"bytes_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	// Metrics holds the benchmark's custom b.ReportMetric values keyed by
+	// unit (e.g. "Mevents/s", "jain", "losses/run").
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Snapshot is the file schema.
+type Snapshot struct {
+	// Date is the snapshot day (YYYY-MM-DD, local time).
+	Date string `json:"date"`
+	// GoVersion and GoOSArch locate the toolchain and platform.
+	GoVersion string `json:"go_version"`
+	GoOSArch  string `json:"go_os_arch"`
+	// Bench and Benchtime echo the selection flags.
+	Bench     string `json:"bench"`
+	Benchtime string `json:"benchtime"`
+	// Results holds one entry per benchmark, in output order.
+	Results []Result `json:"results"`
+}
+
+func main() {
+	bench := flag.String("bench", ".", "benchmark selection regexp (go test -bench)")
+	benchtime := flag.String("benchtime", "1x", "per-benchmark budget (go test -benchtime)")
+	count := flag.Int("count", 1, "repetitions per benchmark (go test -count)")
+	out := flag.String("out", "", "output file (default BENCH_<date>.json)")
+	pkg := flag.String("pkg", ".", "package to benchmark")
+	flag.Parse()
+
+	args := []string{
+		"test", *pkg,
+		"-run", "^$",
+		"-bench", *bench,
+		"-benchmem",
+		"-benchtime", *benchtime,
+		"-count", strconv.Itoa(*count),
+	}
+	cmd := exec.Command("go", args...)
+	cmd.Stderr = os.Stderr
+	var buf bytes.Buffer
+	cmd.Stdout = &buf
+	fmt.Fprintf(os.Stderr, "benchjson: go %s\n", strings.Join(args, " "))
+	if err := cmd.Run(); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: benchmarks failed: %v\n", err)
+		os.Exit(1)
+	}
+
+	snap, err := parse(buf.Bytes())
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	snap.Bench = *bench
+	snap.Benchtime = *benchtime
+	if err := validate(snap); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: invalid snapshot: %v\n", err)
+		os.Exit(1)
+	}
+
+	path := *out
+	if path == "" {
+		path = "BENCH_" + snap.Date + ".json"
+	}
+	data, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: encode: %v\n", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: write %s: %v\n", path, err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: wrote %d benchmarks to %s\n", len(snap.Results), path)
+}
+
+// parse extracts benchmark lines from `go test -bench` output. A line looks
+// like:
+//
+//	BenchmarkName-8  3  123456 ns/op  42 B/op  7 allocs/op  1.5 Mevents/s
+//
+// i.e. name, iterations, then repeated <value> <unit> pairs.
+func parse(output []byte) (*Snapshot, error) {
+	snap := &Snapshot{
+		Date:      time.Now().Format("2006-01-02"),
+		GoVersion: strings.TrimSpace(goOutput("env", "GOVERSION")),
+		GoOSArch:  strings.TrimSpace(goOutput("env", "GOOS")) + "/" + strings.TrimSpace(goOutput("env", "GOARCH")),
+	}
+	sc := bufio.NewScanner(bytes.NewReader(output))
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		// name, iterations, and at least one value/unit pair.
+		if len(fields) < 4 || len(fields)%2 != 0 {
+			continue
+		}
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue
+		}
+		r := Result{Name: fields[0], Iterations: iters}
+		for i := 2; i+1 < len(fields); i += 2 {
+			val, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("line %q: bad value %q", line, fields[i])
+			}
+			switch unit := fields[i+1]; unit {
+			case "ns/op":
+				r.NsPerOp = val
+			case "B/op":
+				r.BytesPerOp = val
+			case "allocs/op":
+				r.AllocsPerOp = val
+			default:
+				if r.Metrics == nil {
+					r.Metrics = make(map[string]float64)
+				}
+				r.Metrics[unit] = val
+			}
+		}
+		snap.Results = append(snap.Results, r)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return snap, nil
+}
+
+// validate enforces the snapshot schema the CI smoke checks: at least one
+// benchmark, and every entry carries a name, positive iterations, and a
+// positive ns/op.
+func validate(s *Snapshot) error {
+	if len(s.Results) == 0 {
+		return fmt.Errorf("no benchmark results parsed")
+	}
+	for _, r := range s.Results {
+		if r.Name == "" {
+			return fmt.Errorf("entry with empty name")
+		}
+		if r.Iterations <= 0 {
+			return fmt.Errorf("%s: non-positive iterations %d", r.Name, r.Iterations)
+		}
+		if r.NsPerOp <= 0 {
+			return fmt.Errorf("%s: non-positive ns/op %g", r.Name, r.NsPerOp)
+		}
+	}
+	return nil
+}
+
+// goOutput runs `go <args>` and returns stdout (best-effort; empty on
+// error).
+func goOutput(args ...string) string {
+	out, err := exec.Command("go", args...).Output()
+	if err != nil {
+		return ""
+	}
+	return string(out)
+}

@@ -203,6 +203,7 @@ func (e *Edge) AddFlowContract(dst string, weight, minRate float64) (int, error)
 		Flow:   id,
 		Dst:    dst,
 		Inject: e.node.Inject,
+		Pool:   e.net.PacketPool(),
 	})
 	src.Decorate = func(p *packet.Packet) { e.decorate(f, p) }
 	f.pipe = src
@@ -240,6 +241,9 @@ func (e *Edge) AddShapedFlow(weight, minRate float64, queueCap int) (int, error)
 		Inject:   e.node.Inject,
 	})
 	sh.Decorate = func(p *packet.Packet) { e.decorate(f, p) }
+	// Packets policed at the edge never enter the cloud, so the shaper's
+	// drop hook is their release point.
+	sh.OnDrop = e.net.PacketPool().Put
 	f.pipe = sh
 	f.sent = sh.Released
 	f.shaper = sh
@@ -313,10 +317,7 @@ func (e *Edge) decorate(f *edgeFlow, p *packet.Packet) {
 	f.sinceMarker += credit
 	if f.sinceMarker >= nw {
 		f.sinceMarker -= nw
-		p.Marker = &packet.Marker{
-			Flow: f.id,
-			Rate: (rate - f.minRate) / f.weight,
-		}
+		p.Marker = e.net.PacketPool().GetMarker(f.id, (rate-f.minRate)/f.weight)
 		e.markersInjected++
 		e.ctrMarkers.Inc()
 	}

@@ -105,6 +105,7 @@ func (e *Edge) AddFlow(dst string, weight float64) (int, error) {
 		Flow:   id,
 		Dst:    dst,
 		Inject: e.node.Inject,
+		Pool:   e.net.PacketPool(),
 	})
 	f.src.Decorate = func(p *packet.Packet) { e.label(f, p) }
 	e.flows = append(e.flows, f)

@@ -476,6 +476,7 @@ func Run(sc Scenario) (*Result, error) {
 			MeanOn:  ct.MeanOn,
 			MeanOff: ct.MeanOff,
 			Inject:  from.Inject,
+			Pool:    net.PacketPool(),
 		})
 		oo.Start()
 	}
@@ -655,6 +656,7 @@ func wireTCP(sc Scenario, net *netem.Network, e *core.Edge, local int, pl topolo
 			ok, offerErr := e.Offer(local, p)
 			return offerErr == nil && ok
 		},
+		Pool: net.PacketPool(),
 	})
 	if err != nil {
 		return nil, err
@@ -662,6 +664,7 @@ func wireTCP(sc Scenario, net *netem.Network, e *core.Edge, local int, pl topolo
 	recv := host.NewReceiver(net.Scheduler(), pl.Ingress, func(ack *packet.Packet) {
 		net.Node(pl.Egress).Inject(ack)
 	})
+	recv.Pool = net.PacketPool()
 	net.Node(pl.Egress).SetApp(deliverApp(func(p *packet.Packet) {
 		if p.Kind == packet.KindData {
 			rec.Deliver(p.Flow, net.Now())

@@ -104,6 +104,7 @@ type Sender struct {
 	flow     packet.FlowID
 	dst      string
 	transmit func(*packet.Packet) bool
+	pool     *packet.Pool
 
 	cwnd     float64
 	ssthresh float64
@@ -141,6 +142,9 @@ type SenderConfig struct {
 	Transmit func(*packet.Packet) bool
 	// TCP tunes the protocol (zero fields default).
 	TCP TCPConfig
+	// Pool, when non-nil, recycles transmitted segments (typically the
+	// network's per-run pool); nil falls back to plain allocation.
+	Pool *packet.Pool
 }
 
 // NewSender returns an inactive sender.
@@ -157,6 +161,7 @@ func NewSender(sched *sim.Scheduler, cfg SenderConfig) (*Sender, error) {
 		flow:     cfg.Flow,
 		dst:      cfg.Dst,
 		transmit: cfg.Transmit,
+		pool:     cfg.Pool,
 		timedSeq: -1,
 	}, nil
 }
@@ -204,7 +209,7 @@ func (s *Sender) fill() {
 }
 
 func (s *Sender) send(seq int64) {
-	p := packet.New(s.flow, s.dst, seq, s.sched.Now())
+	p := s.pool.Get(s.flow, s.dst, seq, s.sched.Now())
 	p.SizeBytes = s.cfg.SegmentBytes
 	s.stats.Sent++
 	if seq < s.maxSent {
@@ -366,6 +371,10 @@ type Receiver struct {
 	// srcNode is the sender's node name (the ACK destination).
 	srcNode string
 
+	// Pool, when non-nil, recycles ACK packets; set it before traffic
+	// starts (nil falls back to plain allocation).
+	Pool *packet.Pool
+
 	expected int64
 	buffered map[int64]bool
 	received int64
@@ -406,7 +415,7 @@ func (r *Receiver) Deliver(p *packet.Packet) {
 	case p.Seq > r.expected:
 		r.buffered[p.Seq] = true
 	}
-	ack := packet.New(p.Flow, r.srcNode, r.expected, r.sched.Now())
+	ack := r.Pool.Get(p.Flow, r.srcNode, r.expected, r.sched.Now())
 	ack.Kind = packet.KindAck
 	ack.SizeBytes = packet.AckSizeBytes
 	r.sendAck(ack)

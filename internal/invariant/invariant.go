@@ -55,6 +55,9 @@ const (
 	// RuleFairness: per-flow goodput deviates from the weighted max-min
 	// oracle by more than the configured tolerance.
 	RuleFairness
+	// RulePool: packet-pool accounting (no double releases; packets live in
+	// the pool's bookkeeping cover at least the packets the links hold).
+	RulePool
 )
 
 // String names the rule for reports.
@@ -72,6 +75,8 @@ func (r Rule) String() string {
 		return "marker-accounting"
 	case RuleFairness:
 		return "fairness"
+	case RulePool:
+		return "pool-accounting"
 	default:
 		return fmt.Sprintf("rule(%d)", int(r))
 	}
@@ -298,6 +303,31 @@ func (c *Checker) Sweep(now time.Duration) {
 			ns.InjectedBytes, ns.DeliveredBytes, ns.DroppedBytes, inFlightBytes))
 
 	c.markerSweep(now, ns, inFlight)
+	c.poolSweep(now, inFlight)
+}
+
+// poolSweep reconciles the network's packet-pool counters. A double release
+// would recycle a packet still in flight and corrupt the run, so it is always
+// a violation. The live count (handed out minus released) must cover at least
+// the packets the links hold: more live than in flight is legal (edge shapers
+// hold packets outside any link, and a discipline that discards without a
+// drop notification leaks to the GC), but fewer means a packet was released
+// while a link still owned it. The lower bound is only sound while no foreign
+// (non-pool) packets circulate, so it applies only when the pool is actually
+// in use and no foreign release has been seen.
+func (c *Checker) poolSweep(now time.Duration, inFlight int64) {
+	ps := c.net.PacketPool().Stats()
+	c.check(now, RulePool, "pool", 0, ps.DoubleReleased,
+		"packet released to the pool twice")
+	c.checkMax(now, RulePool, "pool", ps.Gets(), ps.Released,
+		"more packets released than handed out")
+	c.checkMax(now, RulePool, "pool", ps.MarkerAllocated+ps.MarkerRecycled, ps.MarkerReleased,
+		"more markers released than handed out")
+	if ps.Gets() > 0 && ps.Foreign == 0 {
+		c.checkMin(now, RulePool, "pool", inFlight, ps.Live(),
+			fmt.Sprintf("pool live(%d) below packets in flight(%d): premature release",
+				ps.Live(), inFlight))
+	}
 }
 
 // perLink checks the counters of one link.

@@ -53,6 +53,17 @@ type Link struct {
 	net     *Network
 	busy    bool
 
+	// inService is the packet currently occupying the transmitter; the
+	// service-completion timer reads it instead of closing over the packet.
+	inService *packet.Packet
+	// onTxDone is the pre-bound service-completion callback, created once at
+	// link construction so that scheduling a transmission allocates nothing.
+	onTxDone func()
+	// svcDefault caches serviceTime for the paper's fixed
+	// packet.DefaultSizeBytes packet — the size every evaluation packet has —
+	// so the hot path skips the float division.
+	svcDefault time.Duration
+
 	stats LinkStats
 }
 
@@ -100,9 +111,19 @@ func (l *Link) registerObs(reg *obs.Registry) {
 	})
 }
 
-// serviceTime is the time the transmitter is occupied by p.
+// serviceTime is the time the transmitter is occupied by p. The common
+// fixed-size evaluation packet hits the precomputed per-link duration; other
+// sizes fall back to the float path.
 func (l *Link) serviceTime(p *packet.Packet) time.Duration {
-	seconds := float64(p.SizeBytes) * 8 / l.rateBps
+	if p.SizeBytes == packet.DefaultSizeBytes {
+		return l.svcDefault
+	}
+	return l.serviceTimeFor(p.SizeBytes)
+}
+
+// serviceTimeFor computes the transmission time for a packet of sizeBytes.
+func (l *Link) serviceTimeFor(sizeBytes int) time.Duration {
+	seconds := float64(sizeBytes) * 8 / l.rateBps
 	return time.Duration(seconds * float64(time.Second))
 }
 
@@ -124,7 +145,10 @@ func (l *Link) send(p *packet.Packet) {
 	}
 }
 
-// startService begins transmitting the head-of-line packet.
+// startService begins transmitting the head-of-line packet. The
+// service-completion timer is the pre-bound txDone method value and the
+// in-flight packet rides on the link itself, so starting a transmission
+// allocates nothing.
 func (l *Link) startService() {
 	p := l.queue.Dequeue()
 	if p == nil {
@@ -132,20 +156,46 @@ func (l *Link) startService() {
 		return
 	}
 	l.busy = true
+	l.inService = p
 	now := l.net.sched.Now()
 	l.net.trace(TraceEvent{At: now, Kind: EventDequeue, Where: l.name, Packet: p})
 	l.monitor.Observe(now, l.queue.Len())
-	st := l.serviceTime(p)
-	l.net.sched.MustAfter(st, func() {
-		l.stats.Transmitted++
-		l.stats.TxBytes += int64(p.SizeBytes)
-		// Propagation: the packet arrives at the far node Delay later;
-		// the transmitter is immediately free for the next packet.
-		l.net.sched.MustAfter(l.delay, func() {
-			l.stats.Arrived++
-			l.stats.ArrivedBytes += int64(p.SizeBytes)
-			l.to.deliver(p)
-		})
-		l.startService()
-	})
+	l.net.sched.Post(l.serviceTime(p), l.onTxDone)
+}
+
+// txDone completes the in-service packet's transmission: the packet starts
+// propagating toward the far node (carried by a pooled timer record, not a
+// closure) and the transmitter is immediately free for the next packet.
+func (l *Link) txDone() {
+	p := l.inService
+	l.inService = nil
+	l.stats.Transmitted++
+	l.stats.TxBytes += int64(p.SizeBytes)
+	t := l.net.getPropTimer()
+	t.link = l
+	t.p = p
+	l.net.sched.Post(l.delay, t.fire)
+	l.startService()
+}
+
+// propTimer carries one propagating packet from transmitter to far node.
+// Records are pooled on the Network and their fire callback is bound once at
+// allocation, so per-packet propagation scheduling allocates nothing in
+// steady state.
+type propTimer struct {
+	link *Link
+	p    *packet.Packet
+	// fire is the pre-bound arrive method value.
+	fire func()
+}
+
+// arrive hands the packet to the far node and recycles the record.
+func (t *propTimer) arrive() {
+	l := t.link
+	p := t.p
+	t.link, t.p = nil, nil
+	l.net.putPropTimer(t)
+	l.stats.Arrived++
+	l.stats.ArrivedBytes += int64(p.SizeBytes)
+	l.to.deliver(p)
 }

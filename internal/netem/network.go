@@ -92,6 +92,14 @@ type Network struct {
 
 	tracer Tracer
 
+	// pool recycles packets (and their piggybacked markers) per run:
+	// sources draw from it and the network releases at the sink and on
+	// every drop. See packet.Pool for the ownership rules.
+	pool *packet.Pool
+	// propFree recycles the pooled propagation-timer records of the link
+	// pipeline (see propTimer).
+	propFree []*propTimer
+
 	obs *obs.Registry
 	// dropCtr is indexed by DropReason; nil entries make counting a no-op,
 	// so the drop path never branches on whether observability is attached.
@@ -104,11 +112,35 @@ func New(sched *sim.Scheduler) *Network {
 		sched:     sched,
 		nodes:     make(map[string]*Node),
 		pathDelay: make(map[[2]string]time.Duration),
+		pool:      packet.NewPool(),
 	}
 }
 
 // Scheduler exposes the simulation scheduler driving this network.
 func (n *Network) Scheduler() *sim.Scheduler { return n.sched }
+
+// PacketPool exposes the per-run packet free list. Traffic sources allocate
+// from it so that the network can recycle every packet it delivers or drops;
+// allocating elsewhere (plain packet.New) is always safe — foreign packets
+// are simply left to the garbage collector on release.
+func (n *Network) PacketPool() *packet.Pool { return n.pool }
+
+// getPropTimer pops a propagation-timer record, binding its callback once on
+// first allocation.
+func (n *Network) getPropTimer() *propTimer {
+	if k := len(n.propFree); k > 0 {
+		t := n.propFree[k-1]
+		n.propFree[k-1] = nil
+		n.propFree = n.propFree[:k-1]
+		return t
+	}
+	t := &propTimer{}
+	t.fire = t.arrive
+	return t
+}
+
+// putPropTimer returns a drained record to the free list.
+func (n *Network) putPropTimer(t *propTimer) { n.propFree = append(n.propFree, t) }
 
 // Now reports the current virtual time.
 func (n *Network) Now() time.Duration { return n.sched.Now() }
@@ -193,6 +225,8 @@ func (n *Network) AddLink(from, to string, cfg LinkConfig) (*Link, error) {
 		monitor: NewQueueMonitor(n.sched.Now()),
 		net:     n,
 	}
+	l.onTxDone = l.txDone
+	l.svcDefault = l.serviceTimeFor(packet.DefaultSizeBytes)
 	src.links[to] = l
 	n.links = append(n.links, l)
 	if n.obs != nil {
@@ -259,6 +293,9 @@ func (n *Network) notifyDrop(d Drop) {
 	for _, fn := range n.onDrop {
 		fn(d)
 	}
+	// Drop listeners run synchronously and must not retain the packet, so
+	// the drop point is where ownership returns to the pool.
+	n.pool.Put(d.Packet)
 }
 
 // ComputeRoutes fills every node's next-hop table with shortest paths

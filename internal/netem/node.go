@@ -80,6 +80,10 @@ func (n *Node) deliver(p *packet.Packet) {
 		if n.app != nil {
 			n.app.Receive(p)
 		}
+		// The sink is the end of the packet's life: apps read it
+		// synchronously and must not retain it (see packet.Packet), so
+		// ownership returns to the pool here.
+		n.net.pool.Put(p)
 		return
 	}
 	next, ok := n.nextHop[p.Dst]

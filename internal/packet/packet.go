@@ -36,6 +36,11 @@ type Marker struct {
 	Flow FlowID
 	// Rate is the labelled normalized rate r_n in packets per second.
 	Rate float64
+
+	// owner is the Pool that allocated this marker (nil for plain
+	// allocation). It lets the pool reclaim the marker when the carrying
+	// packet is released.
+	owner *Pool
 }
 
 // Kind distinguishes payload packets from transport acknowledgements
@@ -55,9 +60,11 @@ const AckSizeBytes = 40
 
 // Packet is a single data packet in flight.
 //
-// Packets are created by edge routers and freed implicitly by garbage
-// collection when they reach the sink or are dropped; routers must not
-// retain references after forwarding.
+// Packets are created by edge routers and released when they reach the sink
+// or are dropped — either back to the Pool that allocated them or implicitly
+// to the garbage collector (plain New). Either way the struct may be
+// recycled immediately after release, so routers and apps must not retain
+// references after forwarding; see Pool for the full ownership contract.
 type Packet struct {
 	// Kind distinguishes data from transport acknowledgements.
 	Kind Kind
@@ -80,6 +87,14 @@ type Packet struct {
 	// packets per second. Zero for schemes that do not label. Core CSFQ
 	// routers may relabel (lower) it at each congested link.
 	Label float64
+
+	// owner is the Pool that allocated this packet; nil for plain New
+	// packets, which a pool treats as foreign and leaves to the garbage
+	// collector.
+	owner *Pool
+	// free marks a packet currently on its owner's free list, so a double
+	// release is detected instead of corrupting the list.
+	free bool
 }
 
 // DefaultSizeBytes is the packet size used throughout the paper's

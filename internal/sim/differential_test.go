@@ -1,0 +1,317 @@
+package sim
+
+import (
+	"sort"
+	"testing"
+	"time"
+)
+
+// refScheduler is a deliberately naive reference implementation of the
+// event-queue contract the heap must preserve: a sorted list ordered by
+// (time, scheduling sequence), with cancelled events skipped lazily at pop
+// time — the semantics of the original container/heap scheduler. The
+// differential tests below run the same op programs through both engines and
+// require identical firing sequences, so any heap bug that perturbs the
+// total order (and would silently change every figure) is caught directly.
+type refScheduler struct {
+	now     time.Duration
+	seq     uint64
+	events  []*refEvent
+	stepped uint64
+}
+
+type refEvent struct {
+	at       time.Duration
+	seq      uint64
+	canceled bool
+	fn       func()
+}
+
+func (r *refScheduler) at(t time.Duration, fn func()) *refEvent {
+	e := &refEvent{at: t, seq: r.seq, fn: fn}
+	r.seq++
+	// Insert keeping (at, seq) order; seq is strictly increasing, so among
+	// equal times the new event always goes last (FIFO).
+	i := sort.Search(len(r.events), func(i int) bool {
+		other := r.events[i]
+		return other.at > e.at || (other.at == e.at && other.seq > e.seq)
+	})
+	r.events = append(r.events, nil)
+	copy(r.events[i+1:], r.events[i:])
+	r.events[i] = e
+	return e
+}
+
+func (r *refScheduler) step() bool {
+	for len(r.events) > 0 {
+		e := r.events[0]
+		r.events = r.events[1:]
+		if e.canceled {
+			continue
+		}
+		r.now = e.at
+		r.stepped++
+		e.fn()
+		return true
+	}
+	return false
+}
+
+func (r *refScheduler) runAll() {
+	for r.step() {
+	}
+}
+
+// opPrograms is the FuzzScheduler seed corpus (the f.Add seeds plus the
+// regression entries under testdata/fuzz), reused here as deterministic
+// differential inputs, plus a long mixed program exercising deep heaps.
+func opPrograms() [][]byte {
+	programs := [][]byte{
+		{0, 10, 0, 10, 1, 0, 3, 0, 0, 5, 2, 1, 3, 0},
+		{0, 0, 0, 0, 0, 0},
+		{1, 1, 1, 1, 2, 0, 2, 0},
+		{0, 255, 3, 3, 3, 3},
+		// testdata/fuzz/FuzzScheduler regression entries.
+		{0, 0, 0, 0, 0, 0, 2, 1, 2, 2, 3, 0, 3, 0, 3, 0}, // all-zero-ties
+		{2, 0, 3, 0, 1, 0, 2, 0},                         // cancel-empty-then-tie
+		{0, 255, 0, 1, 0, 128, 3, 0, 0, 2, 3, 0},         // interleaved-steps
+		{0, 5, 1, 0, 1, 0, 2, 1, 3, 0, 3, 0},             // ties-and-cancel
+	}
+	// A long pseudo-random program (fixed recurrence, no global randomness)
+	// that mixes all four ops and grows the queue well past one heap level.
+	long := make([]byte, 0, 2048)
+	x := uint32(0x9e3779b9)
+	for i := 0; i < 1024; i++ {
+		x = x*1664525 + 1013904223
+		long = append(long, byte(x>>24), byte(x>>16))
+	}
+	return append(programs, long)
+}
+
+type firing struct {
+	at  time.Duration
+	ord int
+}
+
+// runProgram interprets the op program against the real scheduler using
+// cancellable handles and returns the firing sequence.
+func runProgram(t *testing.T, program []byte) []firing {
+	t.Helper()
+	s := NewScheduler()
+	var (
+		fired   []firing
+		pending []*Event
+		nexttag int
+		lastAt  time.Duration
+	)
+	schedule := func(at time.Duration) {
+		tag := nexttag
+		nexttag++
+		ev, err := s.At(at, func() { fired = append(fired, firing{at, tag}) })
+		if err != nil {
+			t.Fatalf("At(%v): %v", at, err)
+		}
+		pending = append(pending, ev)
+	}
+	for i := 0; i+1 < len(program); i += 2 {
+		op, arg := program[i]%4, program[i+1]
+		switch op {
+		case 0:
+			lastAt = s.Now() + time.Duration(arg)
+			schedule(lastAt)
+		case 1:
+			if lastAt < s.Now() {
+				lastAt = s.Now()
+			}
+			schedule(lastAt)
+		case 2:
+			if len(pending) > 0 {
+				pending[int(arg)%len(pending)].Cancel()
+			}
+		case 3:
+			s.Step()
+		}
+	}
+	if err := s.RunAll(); err != nil {
+		t.Fatalf("RunAll: %v", err)
+	}
+	if s.Len() != 0 {
+		t.Fatalf("queue not drained: Len() = %d", s.Len())
+	}
+	return fired
+}
+
+// runProgramRef interprets the same program against the reference sorted
+// list.
+func runProgramRef(program []byte) []firing {
+	r := &refScheduler{}
+	var (
+		fired   []firing
+		pending []*refEvent
+		nexttag int
+		lastAt  time.Duration
+	)
+	schedule := func(at time.Duration) {
+		tag := nexttag
+		nexttag++
+		pending = append(pending, r.at(at, func() { fired = append(fired, firing{at, tag}) }))
+	}
+	for i := 0; i+1 < len(program); i += 2 {
+		op, arg := program[i]%4, program[i+1]
+		switch op {
+		case 0:
+			lastAt = r.now + time.Duration(arg)
+			schedule(lastAt)
+		case 1:
+			if lastAt < r.now {
+				lastAt = r.now
+			}
+			schedule(lastAt)
+		case 2:
+			if len(pending) > 0 {
+				pending[int(arg)%len(pending)].canceled = true
+			}
+		case 3:
+			r.step()
+		}
+	}
+	r.runAll()
+	return fired
+}
+
+// TestSchedulerDifferential pins the heap's total order against the
+// reference implementation: identical programs must produce identical
+// firing sequences, cancel-skips included.
+func TestSchedulerDifferential(t *testing.T) {
+	for pi, program := range opPrograms() {
+		got := runProgram(t, program)
+		want := runProgramRef(program)
+		if len(got) != len(want) {
+			t.Fatalf("program %d: fired %d events, reference fired %d", pi, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("program %d: firing %d = {at %v, ord %d}, reference {at %v, ord %d}",
+					pi, i, got[i].at, got[i].ord, want[i].at, want[i].ord)
+			}
+		}
+	}
+}
+
+// TestSchedulerDifferentialPost replays the schedule/step ops through the
+// handle-free PostAt path (cancel ops become no-ops on both sides): pooled
+// events must follow exactly the same (time, seq) total order as handles.
+func TestSchedulerDifferentialPost(t *testing.T) {
+	for pi, program := range opPrograms() {
+		s := NewScheduler()
+		r := &refScheduler{}
+		var got, want []firing
+		nexttag := 0
+		var lastAt time.Duration
+		for i := 0; i+1 < len(program); i += 2 {
+			op, arg := program[i]%4, program[i+1]
+			switch op {
+			case 0, 1:
+				at := s.Now() + time.Duration(arg)
+				if op == 1 {
+					at = lastAt
+					if at < s.Now() {
+						at = s.Now()
+					}
+				}
+				lastAt = at
+				tag := nexttag
+				nexttag++
+				s.PostAt(at, func() { got = append(got, firing{at, tag}) })
+				r.at(at, func() { want = append(want, firing{at, tag}) })
+			case 2:
+				// Post events cannot be cancelled; skip on both sides.
+				_ = arg
+			case 3:
+				s.Step()
+				r.step()
+			}
+		}
+		if err := s.RunAll(); err != nil {
+			t.Fatalf("program %d: RunAll: %v", pi, err)
+		}
+		r.runAll()
+		if len(got) != len(want) {
+			t.Fatalf("program %d: fired %d events, reference fired %d", pi, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("program %d: firing %d = %+v, reference %+v", pi, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestCancelRemovesEagerly pins the new Cancel semantics: a cancelled event
+// leaves the queue immediately, so Len() counts live events only.
+func TestCancelRemovesEagerly(t *testing.T) {
+	s := NewScheduler()
+	var evs []*Event
+	for i := 0; i < 100; i++ {
+		evs = append(evs, s.MustAt(time.Duration(i%7)*time.Millisecond, func() {}))
+	}
+	if got := s.Len(); got != 100 {
+		t.Fatalf("Len() = %d, want 100", got)
+	}
+	// Cancel from the middle, the root, and the tail.
+	for _, i := range []int{50, 0, 99, 17, 3} {
+		evs[i].Cancel()
+	}
+	if got := s.Len(); got != 95 {
+		t.Fatalf("Len() after 5 cancels = %d, want 95", got)
+	}
+	// Double cancel stays a no-op.
+	evs[50].Cancel()
+	if got := s.Len(); got != 95 {
+		t.Fatalf("Len() after double cancel = %d, want 95", got)
+	}
+	fired := 0
+	for s.Step() {
+		fired++
+	}
+	if fired != 95 {
+		t.Fatalf("fired %d events, want 95", fired)
+	}
+}
+
+// TestPostSteadyStateAllocs pins the tentpole allocation claim: once the
+// free list is warm, a schedule-and-fire cycle through Post allocates
+// nothing.
+func TestPostSteadyStateAllocs(t *testing.T) {
+	s := NewScheduler()
+	fn := func() {}
+	// Warm the free list and the heap's backing array.
+	for i := 0; i < 8; i++ {
+		s.Post(time.Millisecond, fn)
+	}
+	for s.Step() {
+	}
+	allocs := testing.AllocsPerRun(1000, func() {
+		s.Post(time.Millisecond, fn)
+		s.Step()
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state Post/Step allocates %.1f objects per cycle, want 0", allocs)
+	}
+}
+
+// TestPostChainSteadyStateAllocs covers the self-rescheduling shape the link
+// pipeline uses: an event whose callback posts the next one.
+func TestPostChainSteadyStateAllocs(t *testing.T) {
+	s := NewScheduler()
+	var tick func()
+	tick = func() { s.Post(time.Millisecond, tick) }
+	tick()
+	for i := 0; i < 8; i++ {
+		s.Step()
+	}
+	allocs := testing.AllocsPerRun(1000, func() { s.Step() })
+	if allocs != 0 {
+		t.Fatalf("steady-state chained Post allocates %.1f objects per fire, want 0", allocs)
+	}
+}

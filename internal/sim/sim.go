@@ -9,10 +9,25 @@
 // The engine is single-threaded by design: events execute sequentially in
 // timestamp order, so model code needs no locking and every simulation with
 // the same seed produces the same trace.
+//
+// # Performance model
+//
+// The pending-event queue is a specialized 4-ary min-heap over *Event — no
+// container/heap indirection, no interface boxing — because scheduler
+// overhead, not protocol logic, dominates packet-level simulation at scale.
+// Two scheduling flavors trade cancellability against allocation:
+//
+//   - At/After/MustAt/MustAfter return a cancellable *Event handle. Handles
+//     are never recycled (a stale handle after the event fired must stay a
+//     safe no-op), so each call allocates one Event. Cancel removes the
+//     event from the heap in O(log n) via its maintained index, so heavy
+//     cancellation does not bloat the queue.
+//   - Post/PostAt return no handle. Their events come from a free list on
+//     the Scheduler and return to it after firing, so steady-state hot-path
+//     scheduling (the per-packet link pipeline) allocates nothing.
 package sim
 
 import (
-	"container/heap"
 	"errors"
 	"fmt"
 	"time"
@@ -33,6 +48,8 @@ type Event struct {
 	seq      uint64
 	index    int // position in the heap, -1 when not queued
 	canceled bool
+	pooled   bool // handle-free Post event: recycled after firing
+	sched    *Scheduler
 	fn       func()
 }
 
@@ -40,13 +57,17 @@ type Event struct {
 // fire.
 func (e *Event) At() Time { return e.at }
 
-// Cancel prevents the event from firing. Cancelling an event that already
+// Cancel prevents the event from firing. The event is removed from the queue
+// immediately (O(log n) via its heap index). Cancelling an event that already
 // fired or was already cancelled is a no-op. Cancel must only be called from
 // within the simulation (i.e. from event callbacks or before Run), never from
 // another goroutine.
 func (e *Event) Cancel() {
 	e.canceled = true
 	e.fn = nil
+	if e.index >= 0 && e.sched != nil {
+		e.sched.remove(e)
+	}
 }
 
 // Canceled reports whether Cancel was called on the event.
@@ -59,7 +80,8 @@ func (e *Event) Canceled() bool { return e.canceled }
 type Scheduler struct {
 	now     Time
 	seq     uint64
-	events  eventHeap
+	events  []*Event // 4-ary min-heap ordered by (at, seq)
+	free    []*Event // recycled handle-free events
 	halted  bool
 	stepped uint64
 }
@@ -72,10 +94,9 @@ func NewScheduler() *Scheduler {
 // Now reports the current virtual time.
 func (s *Scheduler) Now() Time { return s.now }
 
-// Len reports the number of events still queued. The count includes
-// cancelled events that have not yet been popped: Cancel marks an event
-// dead but leaves it in the heap until Step or peek discards it.
-func (s *Scheduler) Len() int { return s.events.Len() }
+// Len reports the number of events still queued. Cancelled events are
+// removed from the queue eagerly, so the count covers live events only.
+func (s *Scheduler) Len() int { return len(s.events) }
 
 // Processed reports how many events have been executed so far.
 func (s *Scheduler) Processed() uint64 { return s.stepped }
@@ -90,9 +111,9 @@ func (s *Scheduler) At(t Time, fn func()) (*Event, error) {
 	if fn == nil {
 		return nil, errors.New("sim: schedule nil callback")
 	}
-	e := &Event{at: t, seq: s.seq, fn: fn, index: -1}
+	e := &Event{at: t, seq: s.seq, fn: fn, index: -1, sched: s}
 	s.seq++
-	heap.Push(&s.events, e)
+	s.push(e)
 	return e, nil
 }
 
@@ -122,28 +143,61 @@ func (s *Scheduler) MustAt(t Time, fn func()) *Event {
 	return e
 }
 
+// PostAt schedules fn at absolute time t without returning a handle. The
+// event cannot be cancelled; in exchange its Event record is drawn from and
+// returned to the scheduler's free list, so a steady-state chain of posts
+// allocates nothing. It panics on the programming errors At reports.
+func (s *Scheduler) PostAt(t Time, fn func()) {
+	if t < s.now {
+		panic(fmt.Errorf("sim: post at %v before now %v", t, s.now))
+	}
+	if fn == nil {
+		panic(errors.New("sim: post nil callback"))
+	}
+	var e *Event
+	if n := len(s.free); n > 0 {
+		e = s.free[n-1]
+		s.free[n-1] = nil
+		s.free = s.free[:n-1]
+	} else {
+		e = &Event{pooled: true, sched: s}
+	}
+	e.at = t
+	e.seq = s.seq
+	e.fn = fn
+	e.index = -1
+	e.canceled = false
+	s.seq++
+	s.push(e)
+}
+
+// Post schedules fn to run d after the current virtual time, handle-free and
+// allocation-free in steady state (see PostAt).
+func (s *Scheduler) Post(d time.Duration, fn func()) {
+	s.PostAt(s.now+d, fn)
+}
+
 // Halt stops Run before the horizon. It is intended to be called from within
 // an event callback (e.g. when a termination condition is detected).
 func (s *Scheduler) Halt() { s.halted = true }
 
 // Step executes the single earliest pending event. It reports whether an
-// event was executed (false when the queue is empty). Cancelled events are
-// skipped without being counted as progress.
+// event was executed (false when the queue is empty).
 func (s *Scheduler) Step() bool {
-	for s.events.Len() > 0 {
-		e, ok := heap.Pop(&s.events).(*Event)
-		if !ok {
-			// The heap only ever stores *Event; reaching this branch
-			// means memory corruption, which is unrecoverable.
-			panic("sim: event heap contained a non-event")
-		}
+	for len(s.events) > 0 {
+		e := s.popMin()
 		if e.canceled {
+			// Cancel removes events eagerly; this is a defensive guard for
+			// an event cancelled while popped (cannot happen single-threaded).
 			continue
 		}
 		s.now = e.at
 		s.stepped++
 		fn := e.fn
 		e.fn = nil
+		if e.pooled {
+			s.free = append(s.free, e)
+		}
 		fn()
 		return true
 	}
@@ -157,8 +211,7 @@ func (s *Scheduler) Step() bool {
 func (s *Scheduler) Run(horizon Time) error {
 	s.halted = false
 	for !s.halted {
-		next, ok := s.peek()
-		if !ok || next.at > horizon {
+		if len(s.events) == 0 || s.events[0].at > horizon {
 			if s.now < horizon {
 				s.now = horizon
 			}
@@ -180,54 +233,108 @@ func (s *Scheduler) RunAll() error {
 	return ErrHalted
 }
 
-func (s *Scheduler) peek() (*Event, bool) {
-	for s.events.Len() > 0 {
-		e := s.events[0]
-		if e.canceled {
-			heap.Pop(&s.events)
-			continue
-		}
-		return e, true
+// less orders events by (time, sequence) so that events scheduled for the
+// same instant fire in scheduling order (stable FIFO tie-break).
+func less(a, b *Event) bool {
+	if a.at != b.at {
+		return a.at < b.at
 	}
-	return nil, false
+	return a.seq < b.seq
 }
 
-// eventHeap orders events by (time, sequence) so that events scheduled for
-// the same instant fire in scheduling order (stable FIFO tie-break).
-type eventHeap []*Event
+// The heap is 4-ary: children of i are 4i+1..4i+4, parent is (i-1)/4. The
+// wider fan-out halves the tree depth versus a binary heap, trading a few
+// extra comparisons per level for fewer cache-missing levels — a net win for
+// the sift-down-dominated pop workload of a discrete-event queue.
+const heapArity = 4
 
-var _ heap.Interface = (*eventHeap)(nil)
+// push inserts e into the heap.
+func (s *Scheduler) push(e *Event) {
+	e.index = len(s.events)
+	s.events = append(s.events, e)
+	s.siftUp(e.index)
+}
 
-func (h eventHeap) Len() int { return len(h) }
-
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+// popMin removes and returns the earliest event.
+func (s *Scheduler) popMin() *Event {
+	h := s.events
+	e := h[0]
+	n := len(h) - 1
+	last := h[n]
+	h[n] = nil
+	s.events = h[:n]
+	if n > 0 {
+		s.events[0] = last
+		last.index = 0
+		s.siftDown(0)
 	}
-	return h[i].seq < h[j].seq
-}
-
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
-}
-
-func (h *eventHeap) Push(x any) {
-	e, ok := x.(*Event)
-	if !ok {
-		panic("sim: push of a non-event")
-	}
-	e.index = len(*h)
-	*h = append(*h, e)
-}
-
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
 	e.index = -1
-	*h = old[:n-1]
 	return e
+}
+
+// remove deletes the event at e.index from the heap (used by Cancel).
+func (s *Scheduler) remove(e *Event) {
+	i := e.index
+	h := s.events
+	n := len(h) - 1
+	last := h[n]
+	h[n] = nil
+	s.events = h[:n]
+	if i < n {
+		s.events[i] = last
+		last.index = i
+		// The replacement may violate the heap property in either
+		// direction relative to its new neighborhood.
+		s.siftDown(i)
+		s.siftUp(last.index)
+	}
+	e.index = -1
+}
+
+func (s *Scheduler) siftUp(i int) {
+	h := s.events
+	e := h[i]
+	for i > 0 {
+		parent := (i - 1) / heapArity
+		p := h[parent]
+		if !less(e, p) {
+			break
+		}
+		h[i] = p
+		p.index = i
+		i = parent
+	}
+	h[i] = e
+	e.index = i
+}
+
+func (s *Scheduler) siftDown(i int) {
+	h := s.events
+	n := len(h)
+	e := h[i]
+	for {
+		first := heapArity*i + 1
+		if first >= n {
+			break
+		}
+		// Find the smallest of up to heapArity children.
+		min := first
+		end := first + heapArity
+		if end > n {
+			end = n
+		}
+		for c := first + 1; c < end; c++ {
+			if less(h[c], h[min]) {
+				min = c
+			}
+		}
+		if !less(h[min], e) {
+			break
+		}
+		h[i] = h[min]
+		h[i].index = i
+		i = min
+	}
+	h[i] = e
+	e.index = i
 }

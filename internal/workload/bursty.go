@@ -42,6 +42,7 @@ type OnOff struct {
 	sched  *sim.Scheduler
 	rng    *sim.RNG
 	inject func(*packet.Packet)
+	pool   *packet.Pool
 
 	flow      packet.FlowID
 	dst       string
@@ -71,6 +72,9 @@ type OnOffConfig struct {
 	MeanOff time.Duration
 	// Inject delivers packets into the network.
 	Inject func(*packet.Packet)
+	// Pool, when non-nil, recycles emitted packets; nil falls back to plain
+	// allocation.
+	Pool *packet.Pool
 }
 
 // NewOnOff returns an inactive on/off stream.
@@ -83,6 +87,7 @@ func NewOnOff(sched *sim.Scheduler, rng *sim.RNG, cfg OnOffConfig) *OnOff {
 		sched:     sched,
 		rng:       rng,
 		inject:    cfg.Inject,
+		pool:      cfg.Pool,
 		flow:      cfg.Flow,
 		dst:       cfg.Dst,
 		sizeBytes: size,
@@ -158,7 +163,7 @@ func (o *OnOff) emit() {
 	if !o.active || !o.on || o.rate <= 0 {
 		return
 	}
-	p := packet.New(o.flow, o.dst, o.seq, o.sched.Now())
+	p := o.pool.Get(o.flow, o.dst, o.seq, o.sched.Now())
 	p.SizeBytes = o.sizeBytes
 	o.seq++
 	o.inject(p)

@@ -18,6 +18,7 @@ import (
 type Source struct {
 	sched  *sim.Scheduler
 	inject func(*packet.Packet)
+	pool   *packet.Pool
 
 	flow      packet.FlowID
 	dst       string
@@ -46,6 +47,9 @@ type SourceConfig struct {
 	// Inject delivers an emitted packet into the network (typically the
 	// ingress node's Inject method).
 	Inject func(*packet.Packet)
+	// Pool, when non-nil, recycles emitted packets (typically the network's
+	// per-run pool); nil falls back to plain allocation.
+	Pool *packet.Pool
 }
 
 // NewSource returns an inactive source; call Start to begin emission.
@@ -57,6 +61,7 @@ func NewSource(sched *sim.Scheduler, cfg SourceConfig) *Source {
 	return &Source{
 		sched:     sched,
 		inject:    cfg.Inject,
+		pool:      cfg.Pool,
 		flow:      cfg.Flow,
 		dst:       cfg.Dst,
 		sizeBytes: size,
@@ -128,7 +133,7 @@ func (s *Source) emit() {
 		return
 	}
 	now := s.sched.Now()
-	p := packet.New(s.flow, s.dst, s.seq, now)
+	p := s.pool.Get(s.flow, s.dst, s.seq, now)
 	p.SizeBytes = s.sizeBytes
 	s.seq++
 	s.lastEmit = now
