@@ -74,6 +74,7 @@ fuzz:
 	$(GO) test ./internal/maxmin -run '^$$' -fuzz FuzzMaxMin -fuzztime $(FUZZ_TIME)
 	$(GO) test ./internal/sim -run '^$$' -fuzz FuzzScheduler -fuzztime $(FUZZ_TIME)
 	$(GO) test ./internal/topospec -run '^$$' -fuzz FuzzTopoSpec -fuzztime $(FUZZ_TIME)
+	$(GO) test ./internal/experiments -run '^$$' -fuzz FuzzFlowSim -fuzztime $(FUZZ_TIME)
 
 # cover fails if total statement coverage over the library packages drops
 # below COVERAGE_BASELINE percent.

@@ -467,3 +467,58 @@ func BenchmarkObsDisabled(b *testing.B) { benchObs(b, false) }
 // BenchmarkObsAttached runs with counters and control events recording
 // (sampling off), for comparison against BenchmarkObsDisabled.
 func BenchmarkObsAttached(b *testing.B) { benchObs(b, true) }
+
+// benchFlowScenario runs b.N seed replicas of a scenario on the flow
+// (fluid) backend and reports the engine's scale metric: simulated
+// flow-seconds per wall second (a 10k-flow, 10-second scenario finishing
+// in one wall second scores 100k flowsec/s). Event throughput is not
+// comparable across backends — one fluid event re-solves the whole rate
+// allocation — so the flow benchmarks report flowsec/s instead of
+// Mevents/s and the two engines never gate each other's regressions.
+func benchFlowScenario(b *testing.B, sc corelite.Scenario) {
+	b.Helper()
+	sc.Backend = corelite.BackendFlow
+	var flowSec float64
+	for i := 0; i < b.N; i++ {
+		run := sc
+		run.Seed = int64(i + 1)
+		res, err := corelite.Run(run)
+		if err != nil {
+			b.Fatalf("run %s: %v", sc.Name, err)
+		}
+		flowSec += float64(len(res.Flows)) * res.Duration.Seconds()
+	}
+	b.ReportMetric(flowSec/b.Elapsed().Seconds(), "flowsec/s")
+}
+
+// BenchmarkFlowFig5Startup is the paper's simultaneous-start scenario on
+// the fluid backend — the direct counterpart of BenchmarkFig5CoreliteStartup
+// for backend-to-backend cost comparison on identical specs.
+func BenchmarkFlowFig5Startup(b *testing.B) {
+	benchFlowScenario(b, corelite.Fig5Scenario(1))
+}
+
+// BenchmarkFlowFig9Churn exercises the fluid engine's event machinery
+// (arrivals, departures, restarts) on the §4.3 churn scenario.
+func BenchmarkFlowFig9Churn(b *testing.B) {
+	benchFlowScenario(b, corelite.Fig9Scenario(1))
+}
+
+// BenchmarkFlowChain10k is the scale target from the ROADMAP north star: a
+// generated 1000-core chain crossed by 10000 flows, 10 simulated seconds.
+// The packet engine would need ~billions of events for this; the fluid
+// engine advances rates between control epochs and finishes in seconds.
+func BenchmarkFlowChain10k(b *testing.B) {
+	sc := corelite.Scenario{
+		Name:     "flow-chain-10k",
+		Duration: 10 * time.Second,
+		Seed:     1,
+		Scheme:   corelite.SchemeCorelite,
+		Backend:  corelite.BackendFlow,
+		Chain: &corelite.ChainTopology{
+			Cores: 1000,
+			Flows: 10000,
+		},
+	}
+	benchFlowScenario(b, sc)
+}

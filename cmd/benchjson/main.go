@@ -8,11 +8,20 @@
 //	go run ./cmd/benchjson                        # full suite, 1x benchtime
 //	go run ./cmd/benchjson -bench BatchFiguresSerial -benchtime 1x
 //	go run ./cmd/benchjson -out BENCH_baseline.json
+//	go run ./cmd/benchjson -compare BENCH_2026-08-05.json
 //
 // Each benchmark entry records ns/op, B/op, allocs/op and every custom
 // metric the benchmarks report (Mevents/s, jain, losses/run, ...). For
 // statistical comparisons between two snapshots, prefer benchstat on the
 // raw output (see `make bench-json` notes in the Makefile).
+//
+// With -compare FILE the tool runs the suite, diffs the throughput metrics
+// (Mevents/s, flowsec/s) against the committed snapshot, and exits nonzero
+// when any benchmark regressed by more than -max-regress (default 5%) —
+// the CI perf gate. Benchmark names are normalized by stripping Go's
+// "-<GOMAXPROCS>" suffix, so snapshots taken on hosts with different core
+// counts still line up. No snapshot file is written in compare mode unless
+// -out is given explicitly.
 package main
 
 import (
@@ -65,6 +74,8 @@ func main() {
 	count := flag.Int("count", 1, "repetitions per benchmark (go test -count)")
 	out := flag.String("out", "", "output file (default BENCH_<date>.json)")
 	pkg := flag.String("pkg", ".", "package to benchmark")
+	compare := flag.String("compare", "", "previous snapshot to diff against instead of writing one; throughput regressions beyond -max-regress fail the command")
+	maxRegress := flag.Float64("max-regress", 0.05, "largest tolerated fractional throughput drop per benchmark in -compare mode (0.05 = 5%)")
 	flag.Parse()
 
 	args := []string{
@@ -95,6 +106,28 @@ func main() {
 	if err := validate(snap); err != nil {
 		fmt.Fprintf(os.Stderr, "benchjson: invalid snapshot: %v\n", err)
 		os.Exit(1)
+	}
+
+	if *compare != "" {
+		old, err := loadSnapshot(*compare)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+			os.Exit(1)
+		}
+		report := compareSnapshots(old, snap, *maxRegress)
+		for _, line := range report.Lines {
+			fmt.Println(line)
+		}
+		if n := len(report.Regressions); n > 0 {
+			fmt.Fprintf(os.Stderr, "benchjson: %d throughput regression(s) beyond %.0f%% vs %s\n",
+				n, *maxRegress*100, *compare)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "benchjson: no throughput regression beyond %.0f%% vs %s (%d benchmarks compared)\n",
+			*maxRegress*100, *compare, report.Compared)
+		if *out == "" {
+			return
+		}
 	}
 
 	path := *out
@@ -189,6 +222,108 @@ func validate(s *Snapshot) error {
 		}
 	}
 	return nil
+}
+
+// throughputUnits are the higher-is-better custom metrics -compare diffs:
+// packet-engine event throughput and flow-engine simulated flow-seconds
+// per wall second. Only the units in gatedUnits fail the command — the
+// fluid benchmarks finish in milliseconds, so their flowsec/s readings
+// jitter with scheduler noise well beyond any useful gate threshold and
+// are reported for the diff without gating.
+var (
+	throughputUnits = []string{"Mevents/s", "flowsec/s"}
+	gatedUnits      = map[string]bool{"Mevents/s": true}
+)
+
+// Regression is one gated metric that dropped beyond the tolerance.
+type Regression struct {
+	Name, Unit string
+	Old, New   float64
+}
+
+// Report is the outcome of comparing a fresh run against a snapshot.
+type Report struct {
+	// Lines is the human-readable diff, one line per compared metric.
+	Lines []string
+	// Compared counts benchmarks present in both snapshots.
+	Compared int
+	// Regressions holds every metric whose drop exceeded the tolerance.
+	Regressions []Regression
+}
+
+// loadSnapshot reads and decodes a previously written BENCH_*.json file.
+func loadSnapshot(path string) (*Snapshot, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var s Snapshot
+	if err := json.Unmarshal(data, &s); err != nil {
+		return nil, fmt.Errorf("decode %s: %w", path, err)
+	}
+	return &s, nil
+}
+
+// normalizeName strips the "-<GOMAXPROCS>" suffix Go appends to benchmark
+// names, so a snapshot taken on an 8-core host compares against a run on a
+// 4-core one. Names without a numeric suffix pass through unchanged.
+func normalizeName(name string) string {
+	i := strings.LastIndex(name, "-")
+	if i <= 0 || i == len(name)-1 {
+		return name
+	}
+	if _, err := strconv.Atoi(name[i+1:]); err != nil {
+		return name
+	}
+	return name[:i]
+}
+
+// compareSnapshots diffs the throughput metrics of benchmarks present in
+// both snapshots. Benchmarks or metrics present on only one side are
+// reported but never gate — new benchmarks must not fail the perf gate the
+// run that introduces them.
+func compareSnapshots(old, cur *Snapshot, maxRegress float64) Report {
+	var rep Report
+	oldByName := make(map[string]Result, len(old.Results))
+	for _, r := range old.Results {
+		oldByName[normalizeName(r.Name)] = r
+	}
+	for _, r := range cur.Results {
+		name := normalizeName(r.Name)
+		prev, ok := oldByName[name]
+		if !ok {
+			rep.Lines = append(rep.Lines, fmt.Sprintf("%-44s new benchmark (no baseline)", name))
+			continue
+		}
+		rep.Compared++
+		for _, unit := range throughputUnits {
+			ov, oldHas := prev.Metrics[unit]
+			nv, curHas := r.Metrics[unit]
+			if !curHas {
+				continue
+			}
+			if !oldHas {
+				rep.Lines = append(rep.Lines, fmt.Sprintf("%-44s %-10s %8s -> %8.3f (no baseline)", name, unit, "-", nv))
+				continue
+			}
+			delta := 0.0
+			if ov > 0 {
+				delta = (nv - ov) / ov
+			}
+			status := "ok"
+			if ov > 0 && (ov-nv)/ov > maxRegress {
+				if gatedUnits[unit] {
+					status = "REGRESSED"
+					rep.Regressions = append(rep.Regressions, Regression{Name: name, Unit: unit, Old: ov, New: nv})
+				} else {
+					status = "regressed (not gated)"
+				}
+			}
+			rep.Lines = append(rep.Lines, fmt.Sprintf("%-44s %-10s %8.3f -> %8.3f  %+6.1f%%  %s",
+				name, unit, ov, nv, delta*100, status))
+		}
+	}
+	return rep
 }
 
 // goOutput runs `go <args>` and returns stdout (best-effort; empty on

@@ -1,0 +1,105 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseBenchOutput(t *testing.T) {
+	out := []byte(`goos: linux
+goarch: amd64
+pkg: repro
+BenchmarkBatchFiguresSerial-8   	       1	3800710263 ns/op	         4.445 Mevents/s	         1.000 workers	312192696 B/op	11483283 allocs/op
+BenchmarkFlowChain10k   	       2	 900000000 ns/op	    666000 flowsec/s	 1000000 B/op	    1000 allocs/op
+PASS
+ok  	repro	9.1s
+`)
+	snap, err := parse(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snap.Results) != 2 {
+		t.Fatalf("parsed %d results, want 2", len(snap.Results))
+	}
+	r := snap.Results[0]
+	if r.Name != "BenchmarkBatchFiguresSerial-8" || r.Iterations != 1 {
+		t.Errorf("first result = %+v", r)
+	}
+	if r.NsPerOp != 3800710263 || r.BytesPerOp != 312192696 || r.AllocsPerOp != 11483283 {
+		t.Errorf("std metrics = %+v", r)
+	}
+	if r.Metrics["Mevents/s"] != 4.445 {
+		t.Errorf("Mevents/s = %v, want 4.445", r.Metrics["Mevents/s"])
+	}
+	if snap.Results[1].Metrics["flowsec/s"] != 666000 {
+		t.Errorf("flowsec/s = %v, want 666000", snap.Results[1].Metrics["flowsec/s"])
+	}
+}
+
+func TestNormalizeName(t *testing.T) {
+	cases := map[string]string{
+		"BenchmarkBatchFiguresSerial-8":  "BenchmarkBatchFiguresSerial",
+		"BenchmarkBatchFiguresSerial-16": "BenchmarkBatchFiguresSerial",
+		"BenchmarkBatchFiguresSerial":    "BenchmarkBatchFiguresSerial",
+		"BenchmarkFlow-backend-4":        "BenchmarkFlow-backend",
+		"BenchmarkOdd-":                  "BenchmarkOdd-",
+	}
+	for in, want := range cases {
+		if got := normalizeName(in); got != want {
+			t.Errorf("normalizeName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestCompareSnapshots(t *testing.T) {
+	old := &Snapshot{Results: []Result{
+		{Name: "BenchmarkA-8", NsPerOp: 100, Metrics: map[string]float64{"Mevents/s": 4.0}},
+		{Name: "BenchmarkB-8", NsPerOp: 100, Metrics: map[string]float64{"Mevents/s": 4.0}},
+		{Name: "BenchmarkC-8", NsPerOp: 100, Metrics: map[string]float64{"flowsec/s": 500000}},
+	}}
+	cur := &Snapshot{Results: []Result{
+		// A: within 5% (−2.5%), B: regressed (−25%), C: flowsec/s dropped
+		// 40% but that unit is report-only, D: new.
+		{Name: "BenchmarkA-4", NsPerOp: 100, Metrics: map[string]float64{"Mevents/s": 3.9}},
+		{Name: "BenchmarkB-4", NsPerOp: 100, Metrics: map[string]float64{"Mevents/s": 3.0}},
+		{Name: "BenchmarkC-4", NsPerOp: 100, Metrics: map[string]float64{"flowsec/s": 300000}},
+		{Name: "BenchmarkD-4", NsPerOp: 100, Metrics: map[string]float64{"Mevents/s": 1.0}},
+	}}
+	rep := compareSnapshots(old, cur, 0.05)
+	if rep.Compared != 3 {
+		t.Errorf("Compared = %d, want 3", rep.Compared)
+	}
+	if len(rep.Regressions) != 1 {
+		t.Fatalf("Regressions = %+v, want exactly one", rep.Regressions)
+	}
+	reg := rep.Regressions[0]
+	if reg.Name != "BenchmarkB" || reg.Unit != "Mevents/s" || reg.Old != 4.0 || reg.New != 3.0 {
+		t.Errorf("regression = %+v", reg)
+	}
+	joined := strings.Join(rep.Lines, "\n")
+	if !strings.Contains(joined, "REGRESSED") {
+		t.Errorf("report lacks REGRESSED marker:\n%s", joined)
+	}
+	if !strings.Contains(joined, "regressed (not gated)") {
+		t.Errorf("report lacks ungated flowsec/s note:\n%s", joined)
+	}
+	if !strings.Contains(joined, "new benchmark") {
+		t.Errorf("report lacks new-benchmark note:\n%s", joined)
+	}
+}
+
+func TestCompareNoRegression(t *testing.T) {
+	old := &Snapshot{Results: []Result{
+		{Name: "BenchmarkA-8", NsPerOp: 100, Metrics: map[string]float64{"Mevents/s": 4.0}},
+	}}
+	cur := &Snapshot{Results: []Result{
+		{Name: "BenchmarkA-8", NsPerOp: 100, Metrics: map[string]float64{"Mevents/s": 4.1}},
+	}}
+	rep := compareSnapshots(old, cur, 0.05)
+	if len(rep.Regressions) != 0 {
+		t.Errorf("unexpected regressions: %+v", rep.Regressions)
+	}
+	if rep.Compared != 1 {
+		t.Errorf("Compared = %d, want 1", rep.Compared)
+	}
+}

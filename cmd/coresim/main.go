@@ -52,6 +52,7 @@ func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("coresim", flag.ContinueOnError)
 	var (
 		scheme   = fs.String("scheme", "corelite", "scheme: corelite or csfq")
+		backend  = fs.String("backend", "packet", "execution engine: packet (discrete-event reference) or flow (fluid rates, orders of magnitude faster)")
 		flows    = fs.Int("flows", 10, "number of flows (1-20 on the paper topology)")
 		duration = fs.Duration("duration", 80*time.Second, "simulated duration")
 		seed     = fs.Int64("seed", 1, "random seed")
@@ -70,6 +71,11 @@ func run(args []string, stdout io.Writer) error {
 		checkTol = fs.Float64("check-tol", 0.05, "fairness-residual tolerance for -check")
 		cpuProf  = fs.String("cpuprofile", "", "write a host CPU profile of the simulation to this file")
 		memProf  = fs.String("memprofile", "", "write a post-run heap profile to this file")
+
+		chainCores = fs.Int("chain-cores", 0, "generate a synthetic chain of N core nodes instead of a built-in topology (flow backend only)")
+		chainFlows = fs.Int("chain-flows", 0, "flows crossing the generated chain (default -flows)")
+		chainCap   = fs.Float64("chain-capacity", 0, "per-link capacity of the generated chain in pkt/s (0 = the paper's 500)")
+		chainSpan  = fs.Int("chain-span", 0, "max consecutive links one chain flow crosses (0 = 4)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -97,6 +103,24 @@ func run(args []string, stdout io.Writer) error {
 		sc.Scheme = corelite.SchemeCSFQ
 	default:
 		return fmt.Errorf("unknown scheme %q (want corelite or csfq)", *scheme)
+	}
+	be, err := corelite.ParseBackend(*backend)
+	if err != nil {
+		return err
+	}
+	sc.Backend = be
+	if *chainCores > 0 {
+		nf := *chainFlows
+		if nf <= 0 {
+			nf = *flows
+		}
+		sc.Chain = &corelite.ChainTopology{
+			Cores:       *chainCores,
+			Flows:       nf,
+			CapacityPPS: *chainCap,
+			MaxSpan:     *chainSpan,
+		}
+		sc.NumFlows = 0
 	}
 	if *weights != "" {
 		w, err := parseWeights(*weights)
@@ -177,6 +201,17 @@ func run(args []string, stdout io.Writer) error {
 		if *runs > 1 {
 			fmt.Fprintf(stdout, "run %s (seed %d): %d events, %d losses\n",
 				r.Job.Name, jobs[i].Scenario.Seed, r.Stats.Events, r.Stats.Dropped)
+		}
+		if be == corelite.BackendFlow {
+			// The fluid engine's scale metric: simulated flow-seconds per
+			// wall second.
+			simSec := jobs[i].Scenario.Duration.Seconds()
+			wall := r.Stats.Wall.Seconds()
+			if wall > 0 {
+				fmt.Fprintf(stdout, "flow backend: %d flows × %.0fs simulated in %v (%.3g flow·s/s, %d events)\n",
+					len(r.Output.Flows), simSec, r.Stats.Wall.Round(time.Millisecond),
+					float64(len(r.Output.Flows))*simSec/wall, r.Stats.Events)
+			}
 		}
 		if *check {
 			if err := reportViolations(stdout, r.Job.Name, r.Output.Violations, r.Output.InvariantChecks); err != nil {

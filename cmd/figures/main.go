@@ -116,6 +116,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("figures", flag.ContinueOnError)
 	var figs figList
 	outdir := fs.String("outdir", "figures-out", "directory for CSV output")
+	backend := fs.String("backend", "packet", "execution engine: packet (reference) or flow (fluid, orders of magnitude faster)")
 	seed := fs.Int64("seed", 1, "random seed")
 	parallel := fs.Int("parallel", runtime.GOMAXPROCS(0), "concurrent figure runs (1 = serial)")
 	fs.Var(&figs, "fig", "figure number to regenerate (repeatable; default all)")
@@ -125,6 +126,10 @@ func run(args []string, stdout, stderr io.Writer) error {
 	cpuProf := fs.String("cpuprofile", "", "write a host CPU profile of the batch to this file")
 	memProf := fs.String("memprofile", "", "write a post-run heap profile to this file")
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	be, err := corelite.ParseBackend(*backend)
+	if err != nil {
 		return err
 	}
 	want := make(map[int]bool, len(figs))
@@ -169,6 +174,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	// stdout are byte-identical for any worker count.
 	pool := corelite.NewPool(corelite.PoolConfig{
 		Workers: *parallel,
+		Backend: be,
 		Observe: *obsDir != "",
 		OnDone: func(r corelite.JobResult) {
 			if r.Err != nil {

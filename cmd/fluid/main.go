@@ -2,7 +2,10 @@
 // weighted LIMD control loop and prints the rate trajectory — the
 // "analysis" companion to the packet-level simulation (paper §2.2: the
 // rates "asymptotically oscillate around the intersection of the fairness
-// and efficiency lines").
+// and efficiency lines"). The iteration itself is flowsim.RunLIMD, the
+// repository's single implementation of the §2.2 recurrence (also the
+// control loop of the flow backend); internal/analysis supplies the error
+// metrics and convergence detection on top.
 //
 //	fluid -capacity 500 -weights 1,1,2,2,3,3,4,4,5,5 -epochs 20000
 package main
@@ -16,6 +19,7 @@ import (
 	"strings"
 
 	"repro/internal/analysis"
+	"repro/internal/flowsim"
 	"repro/internal/maxmin"
 )
 
@@ -56,10 +60,14 @@ func run(args []string) error {
 		}
 	}
 
-	cfg := analysis.FluidConfig{Capacity: *capacity, Weights: weights, Initial: initial}
-	traj, err := analysis.Run(cfg, *epochs, *sample)
+	cfg := flowsim.LIMDConfig{Capacity: *capacity, Weights: weights, Initial: initial}
+	states, err := flowsim.RunLIMD(cfg, *epochs, *sample)
 	if err != nil {
 		return err
+	}
+	traj := make(analysis.Trajectory, len(states))
+	for i, st := range states {
+		traj[i] = analysis.FluidState(st)
 	}
 
 	fmt.Printf("%-8s %-10s %-10s  rates\n", "epoch", "fair-err", "eff-err")

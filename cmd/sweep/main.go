@@ -41,6 +41,7 @@ func main() {
 func mainRun(args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("sweep", flag.ContinueOnError)
 	param := fs.String("param", "epoch", "parameter to sweep: epoch, qthresh, latency, k1")
+	backend := fs.String("backend", "packet", "execution engine: packet (reference) or flow (fluid; note qthresh/latency/k1 are packet-level knobs the fluid model abstracts away)")
 	seed := fs.Int64("seed", 1, "random seed")
 	duration := fs.Duration("duration", 80*time.Second, "simulated duration per point")
 	parallel := fs.Int("parallel", runtime.GOMAXPROCS(0), "concurrent sweep points (1 = serial)")
@@ -50,6 +51,11 @@ func mainRun(args []string, stdout, stderr io.Writer) error {
 	cpuProf := fs.String("cpuprofile", "", "write a host CPU profile of the sweep to this file")
 	memProf := fs.String("memprofile", "", "write a post-run heap profile to this file")
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	be, err := experiments.ParseBackend(*backend)
+	if err != nil {
 		return err
 	}
 
@@ -78,6 +84,7 @@ func mainRun(args []string, stdout, stderr io.Writer) error {
 
 	pool := run.New(run.Config{
 		Workers: *parallel,
+		Backend: be,
 		Observe: *obsDir != "",
 		OnDone: func(r run.Result) {
 			if r.Err != nil {

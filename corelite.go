@@ -132,7 +132,28 @@ type (
 	TopologySpec = topospec.Spec
 	// TCPConfig tunes the TCP-Reno-like end-host transport.
 	TCPConfig = host.TCPConfig
+	// Backend selects the execution engine for a scenario (packet-level
+	// discrete-event, or flow-level fluid).
+	Backend = experiments.Backend
+	// ChainTopology generates a synthetic chain of core nodes for the
+	// flow backend (Scenario.Chain) — the scale playground for
+	// thousand-node, ten-thousand-flow runs.
+	ChainTopology = experiments.ChainTopology
 )
+
+// Backends.
+const (
+	// BackendPacket is the packet-level reference engine (the default).
+	BackendPacket = experiments.BackendPacket
+	// BackendFlow is the flow-level fluid engine: rates advance between
+	// events as the demand-capped weighted water-filling allocation —
+	// orders of magnitude faster, no packet-scale effects.
+	BackendFlow = experiments.BackendFlow
+)
+
+// ParseBackend maps a CLI spelling ("packet", "flow", "fluid", "") to a
+// Backend.
+var ParseBackend = experiments.ParseBackend
 
 // Transports.
 const (

@@ -24,6 +24,8 @@ import (
 	"errors"
 	"fmt"
 	"math"
+
+	"repro/internal/flowsim"
 )
 
 // FluidConfig parameterizes the fluid iteration.
@@ -105,7 +107,11 @@ func (c *FluidConfig) validate() error {
 }
 
 // Run iterates the fluid dynamics for the given number of epochs,
-// recording every sampleEvery-th state (and always the final one).
+// recording every sampleEvery-th state (and always the final one). The
+// iteration itself lives in flowsim.RunLIMD — the single authoritative
+// implementation of the §2.2 recurrence — and this package keeps the
+// analytical API (trajectories, error metrics, convergence detection) on
+// top of it.
 func Run(cfg FluidConfig, epochs, sampleEvery int) (Trajectory, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
@@ -113,42 +119,22 @@ func Run(cfg FluidConfig, epochs, sampleEvery int) (Trajectory, error) {
 	if epochs <= 0 {
 		return nil, errors.New("analysis: epochs must be positive")
 	}
-	if sampleEvery <= 0 {
-		sampleEvery = 1
+	states, err := flowsim.RunLIMD(flowsim.LIMDConfig{
+		Capacity:  cfg.Capacity,
+		Weights:   cfg.Weights,
+		Initial:   cfg.Initial,
+		Minimums:  cfg.Minimums,
+		Alpha:     cfg.Alpha,
+		Beta:      cfg.Beta,
+		FeedbackK: cfg.FeedbackK,
+		Threshold: cfg.Threshold,
+	}, epochs, sampleEvery)
+	if err != nil {
+		return nil, err
 	}
-	rates := make([]float64, len(cfg.Initial))
-	copy(rates, cfg.Initial)
-	var out Trajectory
-	snapshot := func(e int) {
-		s := FluidState{Epoch: e, Rates: make([]float64, len(rates))}
-		copy(s.Rates, rates)
-		out = append(out, s)
-	}
-	snapshot(0)
-	for e := 1; e <= epochs; e++ {
-		total := 0.0
-		for _, r := range rates {
-			total += r
-		}
-		congested := total > cfg.Capacity-cfg.Threshold
-		for i := range rates {
-			if congested {
-				dec := cfg.Beta * cfg.FeedbackK * rates[i] / cfg.Weights[i]
-				rates[i] -= dec
-				floor := 0.0
-				if cfg.Minimums != nil {
-					floor = cfg.Minimums[i]
-				}
-				if rates[i] < floor {
-					rates[i] = floor
-				}
-			} else {
-				rates[i] += cfg.Alpha
-			}
-		}
-		if e%sampleEvery == 0 || e == epochs {
-			snapshot(e)
-		}
+	out := make(Trajectory, len(states))
+	for i, s := range states {
+		out[i] = FluidState(s)
 	}
 	return out, nil
 }

@@ -1,0 +1,195 @@
+package experiments
+
+import (
+	"io"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/netem"
+)
+
+func TestParseBackend(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Backend
+		err  bool
+	}{
+		{"", BackendPacket, false},
+		{"packet", BackendPacket, false},
+		{"flow", BackendFlow, false},
+		{"fluid", BackendFlow, false},
+		{"quantum", 0, true},
+		{"Packet", 0, true},
+	}
+	for _, tc := range cases {
+		got, err := ParseBackend(tc.in)
+		if tc.err {
+			if err == nil {
+				t.Errorf("ParseBackend(%q): no error", tc.in)
+			}
+			continue
+		}
+		if err != nil || got != tc.want {
+			t.Errorf("ParseBackend(%q) = (%v, %v), want %v", tc.in, got, err, tc.want)
+		}
+	}
+	if got := BackendPacket.String(); got != "packet" {
+		t.Errorf("BackendPacket.String() = %q", got)
+	}
+	if got := BackendFlow.String(); got != "flow" {
+		t.Errorf("BackendFlow.String() = %q", got)
+	}
+	if got := Backend(7).String(); !strings.Contains(got, "7") {
+		t.Errorf("Backend(7).String() = %q", got)
+	}
+}
+
+func baseScenario() Scenario {
+	return Scenario{
+		Name:     "t",
+		Scheme:   SchemeCorelite,
+		Duration: time.Second,
+		NumFlows: 2,
+	}
+}
+
+func TestValidateBackend(t *testing.T) {
+	sc := baseScenario()
+	sc.Backend = Backend(42)
+	if err := sc.Validate(); err == nil || !strings.Contains(err.Error(), "unknown backend") {
+		t.Errorf("unknown backend: err = %v", err)
+	}
+
+	// The flow backend rejects packet-only knobs with actionable errors.
+	sc = baseScenario()
+	sc.Backend = BackendFlow
+	sc.Transports = map[int]Transport{1: TransportTCP}
+	if err := sc.Validate(); err == nil || !strings.Contains(err.Error(), "packet backend") {
+		t.Errorf("flow+TCP: err = %v", err)
+	}
+
+	sc = baseScenario()
+	sc.Backend = BackendFlow
+	sc.Tracer = &netem.WriterTracer{W: io.Discard}
+	if err := sc.Validate(); err == nil || !strings.Contains(err.Error(), "packet backend") {
+		t.Errorf("flow+tracer: err = %v", err)
+	}
+
+	// The same knobs are fine on the packet backend.
+	sc = baseScenario()
+	sc.Transports = map[int]Transport{1: TransportTCP}
+	sc.Tracer = &netem.WriterTracer{W: io.Discard}
+	if err := sc.Validate(); err != nil {
+		t.Errorf("packet backend with TCP+tracer: %v", err)
+	}
+}
+
+func TestValidateChain(t *testing.T) {
+	chain := func() Scenario {
+		sc := baseScenario()
+		sc.NumFlows = 0
+		sc.Backend = BackendFlow
+		sc.Chain = &ChainTopology{Cores: 5, Flows: 10}
+		return sc.normalize()
+	}
+
+	if err := chain().Validate(); err != nil {
+		t.Errorf("valid chain rejected: %v", err)
+	}
+
+	sc := chain()
+	sc.Backend = BackendPacket
+	if err := sc.Validate(); err == nil || !strings.Contains(err.Error(), "flow backend") {
+		t.Errorf("chain on packet backend: err = %v", err)
+	}
+
+	sc = chain()
+	sc.Chain.Cores = 1
+	if err := sc.Validate(); err == nil {
+		t.Error("1-core chain accepted")
+	}
+
+	sc = chain()
+	sc.Chain.Flows = 0
+	sc.NumFlows = 0
+	if err := sc.Validate(); err == nil {
+		t.Error("0-flow chain accepted")
+	}
+
+	sc = chain()
+	sc.Dumbbell = true
+	if err := sc.Validate(); err == nil {
+		t.Error("chain+dumbbell accepted")
+	}
+}
+
+// TestChainRunFlow exercises the generated chain end to end on the flow
+// backend: deterministic, non-trivial rates on every flow.
+func TestChainRunFlow(t *testing.T) {
+	sc := Scenario{
+		Name:     "chain-smoke",
+		Scheme:   SchemeCorelite,
+		Duration: 30 * time.Second,
+		Backend:  BackendFlow,
+		Chain:    &ChainTopology{Cores: 10, Flows: 40},
+		Seed:     3,
+	}
+	r1, err := Run(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r1.Flows) != 40 {
+		t.Fatalf("got %d flows, want 40", len(r1.Flows))
+	}
+	var total int64
+	for _, f := range r1.Flows {
+		total += f.Delivered
+	}
+	if total == 0 {
+		t.Fatal("chain delivered nothing")
+	}
+	r2, err := Run(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range r1.Flows {
+		if r1.Flows[i].Delivered != r2.Flows[i].Delivered {
+			t.Fatalf("chain run not deterministic at flow %d", i)
+		}
+	}
+}
+
+// TestFlowBackendFigureShape pins the Result contract promises the Engine
+// interface makes: same series grid, oracle and totals shape as the packet
+// engine, whichever backend ran.
+func TestFlowBackendFigureShape(t *testing.T) {
+	sc := Fig5Scenario(1)
+	sc.Duration = 20 * time.Second
+	pr, err := Run(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc.Backend = BackendFlow
+	fr, err := Run(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fr.Flows) != len(pr.Flows) {
+		t.Fatalf("flow backend: %d flows, packet %d", len(fr.Flows), len(pr.Flows))
+	}
+	for i := range fr.Flows {
+		ff, pf := fr.Flows[i], pr.Flows[i]
+		if ff.Index != pf.Index || ff.Weight != pf.Weight {
+			t.Errorf("flow %d: identity mismatch (%d,%g) vs (%d,%g)",
+				i, ff.Index, ff.Weight, pf.Index, pf.Weight)
+		}
+		if len(ff.ReceiveRate) != len(pf.ReceiveRate) {
+			t.Errorf("flow %d: %d rate samples, packet %d",
+				i, len(ff.ReceiveRate), len(pf.ReceiveRate))
+		}
+	}
+	if len(fr.ExpectedFullSet) != len(pr.ExpectedFullSet) {
+		t.Errorf("oracle sets differ: %d vs %d", len(fr.ExpectedFullSet), len(pr.ExpectedFullSet))
+	}
+}

@@ -1,0 +1,331 @@
+package experiments
+
+import (
+	"fmt"
+	"strconv"
+	"time"
+
+	"repro/internal/adapt"
+	"repro/internal/flowsim"
+	"repro/internal/invariant"
+	"repro/internal/maxmin"
+	"repro/internal/packet"
+	"repro/internal/sim"
+	"repro/internal/topology"
+	"repro/internal/workload"
+)
+
+// flowEngine executes scenarios on the fluid engine (internal/flowsim): no
+// packets, no queues — per-flow rates advance between events as the
+// demand-capped weighted water-filling allocation, with the schemes' LIMD
+// loops driving the demands. It reuses the scenario layer's topology
+// builders and oracle so that, over steady windows, its rates agree with
+// the packet engine within the figure tolerances (pinned by the
+// differential tests in backend_diff_test.go).
+type flowEngine struct{}
+
+// flowModel is the fluid engine's view of one scenario: the capacity graph
+// plus the placement metadata the measurement layer needs.
+type flowModel struct {
+	model *flowsim.Model
+	// placements mirror Model.Flows order; for generated chains they are
+	// synthetic (Index/Weight/CoreLinks filled, nodes named "chain").
+	placements []topology.Placement
+}
+
+// Run implements Engine. sc arrives normalized and validated, with
+// SampleWindow defaulted.
+func (flowEngine) Run(sc Scenario) (*Result, error) {
+	fm, err := buildFlowModel(sc)
+	if err != nil {
+		return nil, fmt.Errorf("build flow model: %w", err)
+	}
+
+	control := flowsim.ControlMarker
+	var adaptCfg adapt.Config
+	epoch := time.Duration(0)
+	switch sc.Scheme {
+	case SchemeCorelite:
+		adaptCfg = sc.EdgeConfig.Adapt
+		epoch = sc.EdgeConfig.Epoch
+	case SchemeCSFQ:
+		control = flowsim.ControlLoss
+		adaptCfg = sc.CSFQEdgeConfig.Adapt
+		epoch = sc.CSFQEdgeConfig.Epoch
+	}
+
+	schedules := make([]workload.Schedule, len(fm.model.Flows))
+	for i, f := range fm.model.Flows {
+		schedules[i] = scheduleOf(sc, f.Index)
+	}
+
+	var onViolation func(flowsim.Violation)
+	var onChecks func(int64)
+	if sc.Check.Enabled() {
+		onViolation = func(v flowsim.Violation) {
+			rule := invariant.RuleFluidConservation
+			if v.Kind == flowsim.KindBounds {
+				rule = invariant.RuleFluidBounds
+			}
+			sc.Check.Report(invariant.Violation{
+				At: v.At, Rule: rule, Site: v.Site,
+				Expected: v.Expected, Actual: v.Actual, Detail: v.Detail,
+			})
+		}
+		onChecks = sc.Check.AddChecks
+	}
+
+	out, err := flowsim.Run(flowsim.Config{
+		Model:        fm.model,
+		Horizon:      sc.Duration,
+		Epoch:        epoch,
+		SampleWindow: sc.SampleWindow,
+		Control:      control,
+		Adapt:        adaptCfg,
+		Schedules:    schedules,
+		OnViolation:  onViolation,
+		OnChecks:     onChecks,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("run scenario %q: %w", sc.Name, err)
+	}
+
+	expected, err := flowExpectedRates(sc, fm, nil)
+	if err != nil {
+		return nil, fmt.Errorf("expected rates: %w", err)
+	}
+	res := &Result{
+		Name:            sc.Name,
+		Scheme:          sc.Scheme,
+		ExpectedFullSet: expected,
+		Events:          out.Events,
+		SampleWindow:    sc.SampleWindow,
+		Duration:        sc.Duration,
+	}
+	perEdge := make(map[string]int)
+	for i, f := range fm.model.Flows {
+		pl := fm.placements[i]
+		local := perEdge[pl.Ingress]
+		perEdge[pl.Ingress] = local + 1
+		fo := &out.Flows[i]
+		fr := FlowResult{
+			Index:       f.Index,
+			ID:          packet.FlowID{Edge: pl.Ingress, Local: local},
+			Weight:      f.Weight,
+			AllowedRate: fo.Allowed,
+			ReceiveRate: fo.Rate,
+			Cumulative:  fo.Cumulative,
+			Delivered:   int64(fo.Delivered + 0.5),
+			Losses:      int64(fo.Lost + 0.5),
+		}
+		res.TotalLosses += fr.Losses
+		res.Flows = append(res.Flows, fr)
+	}
+	if sc.Check.Enabled() {
+		checkFairnessFlows(sc, fm, res)
+		res.Violations = sc.Check.Violations()
+		res.InvariantChecks = sc.Check.Checks()
+	}
+	return res, nil
+}
+
+// buildFlowModel converts the scenario's topology into a fluid capacity
+// graph. Built-in and spec topologies go through the same builders as the
+// packet engine (so placements, weights and link capacities are identical);
+// generated chains are constructed directly, which is what lets the flow
+// backend scale to thousands of nodes without the all-pairs route
+// computation a packet network needs.
+func buildFlowModel(sc Scenario) (*flowModel, error) {
+	if sc.Chain != nil {
+		return buildChainModel(sc)
+	}
+	cloud, err := buildCloud(sc, sim.NewScheduler())
+	if err != nil {
+		return nil, err
+	}
+	p := cloud.MaxMinProblem(nil)
+	if err := applyCross(sc, p.Capacity); err != nil {
+		return nil, err
+	}
+	m := flowsim.NewModel()
+	for _, pl := range cloud.Placements {
+		links := make([]int, 0, len(pl.CoreLinks))
+		for _, name := range pl.CoreLinks {
+			cap, ok := p.Capacity[name]
+			if !ok {
+				return nil, fmt.Errorf("flow %d: core link %q missing from oracle problem", pl.Index, name)
+			}
+			li, err := m.AddLink(name, cap)
+			if err != nil {
+				return nil, err
+			}
+			links = append(links, li)
+		}
+		if err := m.AddFlow(flowsim.Flow{
+			Index:   pl.Index,
+			Weight:  pl.Weight,
+			MinRate: sc.MinRates[pl.Index],
+			Links:   links,
+		}); err != nil {
+			return nil, err
+		}
+	}
+	return &flowModel{model: m, placements: cloud.Placements}, nil
+}
+
+// buildChainModel generates the synthetic chain: Cores−1 equal links, each
+// flow crossing a seed-deterministic contiguous span.
+func buildChainModel(sc Scenario) (*flowModel, error) {
+	cfg := *sc.Chain
+	if cfg.CapacityPPS <= 0 {
+		cfg.CapacityPPS = topology.LinkRateBps / 8 / float64(packet.DefaultSizeBytes)
+	}
+	if cfg.MaxSpan <= 0 {
+		cfg.MaxSpan = 4
+	}
+	nLinks := cfg.Cores - 1
+	if cfg.MaxSpan > nLinks {
+		cfg.MaxSpan = nLinks
+	}
+	m := flowsim.NewModel()
+	names := make([]string, nLinks)
+	for i := 0; i < nLinks; i++ {
+		names[i] = fmt.Sprintf("C%d->C%d", i+1, i+2)
+	}
+	caps := make(map[string]float64, nLinks)
+	for _, name := range names {
+		caps[name] = cfg.CapacityPPS
+	}
+	if err := applyCross(sc, caps); err != nil {
+		return nil, err
+	}
+	for _, name := range names {
+		if _, err := m.AddLink(name, caps[name]); err != nil {
+			return nil, err
+		}
+	}
+	rng := sim.NewRNG(sc.Seed).Stream("chain")
+	placements := make([]topology.Placement, 0, cfg.Flows)
+	for idx := 1; idx <= cfg.Flows; idx++ {
+		span := 1 + rng.Intn(cfg.MaxSpan)
+		start := rng.Intn(nLinks - span + 1)
+		links := make([]int, span)
+		coreLinks := make([]string, span)
+		for j := 0; j < span; j++ {
+			links[j] = start + j
+			coreLinks[j] = names[start+j]
+		}
+		weight, ok := sc.Weights[idx]
+		if !ok {
+			weight = sc.DefaultWeight
+		}
+		if weight <= 0 {
+			weight = float64(1 + (idx-1)%5)
+		}
+		if err := m.AddFlow(flowsim.Flow{
+			Index:   idx,
+			Weight:  weight,
+			MinRate: sc.MinRates[idx],
+			Links:   links,
+		}); err != nil {
+			return nil, err
+		}
+		placements = append(placements, topology.Placement{
+			Index: idx, Weight: weight,
+			Ingress: "chain", Egress: "chain",
+			CoreLinks: coreLinks, Hops: span,
+		})
+	}
+	return &flowModel{model: m, placements: placements}, nil
+}
+
+// applyCross subtracts each cross stream's mean rate from its link's
+// capacity — the same adjustment the packet oracle makes — so the fluid
+// allocation sees the residual capacity the adaptive flows compete for.
+func applyCross(sc Scenario, capacity map[string]float64) error {
+	for i, ct := range sc.Cross {
+		c, ok := capacity[ct.Link]
+		if !ok {
+			return fmt.Errorf("cross stream %d: unknown link %q", i, ct.Link)
+		}
+		c -= ct.MeanRate()
+		if c < 0 {
+			c = 0
+		}
+		capacity[ct.Link] = c
+	}
+	return nil
+}
+
+// flowExpectedRates solves the weighted max-min oracle directly on the
+// fluid model (whose capacities already account for cross traffic), for
+// the given active set (nil = all flows).
+func flowExpectedRates(sc Scenario, fm *flowModel, active map[int]bool) (map[int]float64, error) {
+	p := maxmin.Problem{
+		Capacity: make(map[string]float64, len(fm.model.Links)),
+		Flows:    make(map[string]maxmin.Flow, len(fm.model.Flows)),
+	}
+	for _, l := range fm.model.Links {
+		p.Capacity[l.Name] = l.Capacity
+	}
+	mins := make(map[string]float64)
+	for _, f := range fm.model.Flows {
+		if active != nil && !active[f.Index] {
+			continue
+		}
+		links := make([]string, len(f.Links))
+		for j, li := range f.Links {
+			links[j] = fm.model.Links[li].Name
+		}
+		key := strconv.Itoa(f.Index)
+		p.Flows[key] = maxmin.Flow{Weight: f.Weight, Links: links}
+		if f.MinRate > 0 {
+			mins[key] = f.MinRate
+		}
+	}
+	alloc, err := maxmin.SolveWithMinimums(p, mins)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[int]float64, len(alloc))
+	for _, f := range fm.model.Flows {
+		if active != nil && !active[f.Index] {
+			continue
+		}
+		out[f.Index] = alloc[strconv.Itoa(f.Index)]
+	}
+	return out, nil
+}
+
+// checkFairnessFlows is the flow backend's differential oracle feed,
+// mirroring checkFairness: measured steady-window rates versus the
+// weighted max-min allocation on the fluid model.
+func checkFairnessFlows(sc Scenario, fm *flowModel, res *Result) {
+	cfg := sc.Check.Config()
+	from, to, active, ok := steadyWindow(sc, fm.placements)
+	if !ok || to-from < cfg.MinSteady {
+		return
+	}
+	expected, err := flowExpectedRates(sc, fm, active)
+	if err != nil {
+		return
+	}
+	mid := from + (to-from)/2
+	rates := make([]invariant.FlowRate, 0, len(res.Flows))
+	for i := range res.Flows {
+		f := &res.Flows[i]
+		if !active[f.Index] {
+			continue
+		}
+		exp, found := expected[f.Index]
+		if !found {
+			continue
+		}
+		rates = append(rates, invariant.FlowRate{
+			Index:    f.Index,
+			Expected: exp,
+			Measured: f.ReceiveRate.MeanOver(mid, to),
+		})
+	}
+	sc.Check.CheckFairness(to, rates)
+}

@@ -51,6 +51,11 @@ type Scenario struct {
 	Name string
 	// Scheme selects Corelite or CSFQ.
 	Scheme Scheme
+	// Backend selects the execution engine: the packet-level
+	// discrete-event simulator (the zero-value default) or the flow-level
+	// fluid engine. The flow backend rejects packet-only knobs (TCP
+	// transports, tracing) at validation time.
+	Backend Backend
 	// Duration is the simulated time horizon.
 	Duration time.Duration
 	// Seed drives all randomness; identical seeds give identical traces.
@@ -108,6 +113,13 @@ type Scenario struct {
 	// description instead of the built-in topologies; NumFlows, Weights
 	// and per-flow contracts are taken from the spec.
 	Spec *topospec.Spec
+
+	// Chain, when non-nil, generates a synthetic chain topology instead
+	// of the built-in or spec topologies (flow backend only — the chain
+	// exists to scale past what a packet network can build). Flow weights
+	// come from Weights/DefaultWeight, with flows absent from both
+	// cycling through weights 1..5.
+	Chain *ChainTopology
 
 	// Tracer, when non-nil, receives every packet-level event
 	// (enqueue/dequeue/receive/drop) in ns-2-like form.
@@ -282,6 +294,9 @@ func buildCloud(sc Scenario, sched *sim.Scheduler) (*topology.Cloud, error) {
 // rest of the harness (schedules, contracts, oracle) sees one consistent
 // description.
 func (sc Scenario) normalize() Scenario {
+	if sc.Chain != nil && sc.NumFlows == 0 {
+		sc.NumFlows = sc.Chain.Flows
+	}
 	if sc.Spec == nil {
 		return sc
 	}
@@ -326,18 +341,45 @@ func (sc Scenario) Validate() error {
 			return fmt.Errorf("experiments: flow %d: TCP transport requires the Corelite scheme", idx)
 		}
 	}
+	if sc.Backend != BackendPacket && sc.Backend != BackendFlow {
+		return fmt.Errorf("experiments: unknown backend %d", int(sc.Backend))
+	}
+	if sc.Backend == BackendFlow {
+		for idx, tr := range sc.Transports {
+			if tr == TransportTCP {
+				return fmt.Errorf("experiments: flow %d: TCP transport requires the packet backend (the fluid model has no end-to-end congestion control loop)", idx)
+			}
+		}
+		if sc.Tracer != nil {
+			return fmt.Errorf("experiments: packet tracing requires the packet backend (the flow backend moves no packets)")
+		}
+	}
+	if sc.Chain != nil {
+		if sc.Backend != BackendFlow {
+			return fmt.Errorf("experiments: the chain topology requires the flow backend")
+		}
+		if sc.Spec != nil || sc.Dumbbell {
+			return fmt.Errorf("experiments: chain topology conflicts with Spec/Dumbbell")
+		}
+		if sc.Chain.Cores < 2 {
+			return fmt.Errorf("experiments: chain needs at least 2 cores, got %d", sc.Chain.Cores)
+		}
+		if sc.Chain.Flows < 1 {
+			return fmt.Errorf("experiments: chain needs at least 1 flow, got %d", sc.Chain.Flows)
+		}
+	}
 	return nil
 }
 
-// Run executes the scenario to completion and returns its measurements.
-func Run(sc Scenario) (*Result, error) {
-	sc = sc.normalize()
-	if err := sc.Validate(); err != nil {
-		return nil, err
-	}
-	if sc.SampleWindow <= 0 {
-		sc.SampleWindow = time.Second
-	}
+// packetEngine executes scenarios on the packet-level discrete-event
+// simulator: real netem links and queues, per-packet scheme machinery
+// (markers, labels, drops), shaped sources or TCP hosts. It is the
+// reference engine; Run (backend.go) dispatches here for BackendPacket.
+type packetEngine struct{}
+
+// Run implements Engine. sc arrives normalized and validated, with
+// SampleWindow defaulted.
+func (packetEngine) Run(sc Scenario) (*Result, error) {
 	sched := sim.NewScheduler()
 	rng := sim.NewRNG(sc.Seed)
 	cloud, err := buildCloud(sc, sched)

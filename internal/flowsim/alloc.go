@@ -1,0 +1,270 @@
+package flowsim
+
+// allocator computes the demand-capped weighted max-min (water-filling)
+// allocation over a Model. Semantically it matches maxmin.Solve — raise a
+// common normalized water level, freezing a flow when its demand is reached
+// or a saturated link pins every flow crossing it — but it is slice-based
+// and event-driven so one solve costs O((F·s + L)·log(F+L)) instead of the
+// oracle's O(L·F) per filling round, which is what lets the engine re-solve
+// after every control epoch with 10k flows. The agreement between the two
+// implementations is pinned by differential tests (alloc_test.go).
+//
+// Minimum rate contracts follow maxmin.SolveWithMinimums: the contracted
+// floors are pre-subtracted from link capacities, the excess demand is
+// water-filled, and the floor is added back — so a contracted flow always
+// achieves at least min(demand, contract).
+type allocator struct {
+	m *Model
+
+	// linkFlows lists, per link, the flows crossing it (static).
+	linkFlows [][]int32
+
+	// Per-flow scratch, reused across solves.
+	frozen []bool
+	res    []float64 // caller's out slice for the current solve
+	dem    []float64 // effective (excess) demand this solve; < 0 = unbounded
+
+	// Per-link scratch.
+	activeW  []float64 // summed weight of unfrozen flows
+	consumed []float64 // rate consumed by frozen flows
+	cap      []float64 // effective capacity this solve
+	version  []int32   // invalidates stale heap entries
+	linkDone []bool
+
+	heap allocHeap
+}
+
+// allocEntry is one pending water-level event: a flow reaching its demand
+// (isFlow) or a link saturating.
+type allocEntry struct {
+	level   float64
+	idx     int32
+	version int32
+	isFlow  bool
+}
+
+// allocHeap is a binary min-heap over (level, isFlow, idx); the secondary
+// keys make pop order — and therefore tie-breaking at equal water levels —
+// deterministic.
+type allocHeap []allocEntry
+
+func (h allocHeap) less(i, j int) bool {
+	if h[i].level != h[j].level {
+		return h[i].level < h[j].level
+	}
+	if h[i].isFlow != h[j].isFlow {
+		return h[i].isFlow // demand caps bind before link saturation at ties
+	}
+	return h[i].idx < h[j].idx
+}
+
+func (h *allocHeap) push(e allocEntry) {
+	*h = append(*h, e)
+	i := len(*h) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(i, parent) {
+			break
+		}
+		(*h)[i], (*h)[parent] = (*h)[parent], (*h)[i]
+		i = parent
+	}
+}
+
+func (h *allocHeap) pop() allocEntry {
+	old := *h
+	top := old[0]
+	n := len(old) - 1
+	old[0] = old[n]
+	*h = old[:n]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < n && (*h).less(l, small) {
+			small = l
+		}
+		if r < n && (*h).less(r, small) {
+			small = r
+		}
+		if small == i {
+			break
+		}
+		(*h)[i], (*h)[small] = (*h)[small], (*h)[i]
+		i = small
+	}
+	return top
+}
+
+// newAllocator builds the static per-link flow lists for m.
+func newAllocator(m *Model) *allocator {
+	a := &allocator{
+		m:         m,
+		linkFlows: make([][]int32, len(m.Links)),
+		frozen:    make([]bool, len(m.Flows)),
+		dem:       make([]float64, len(m.Flows)),
+		activeW:   make([]float64, len(m.Links)),
+		consumed:  make([]float64, len(m.Links)),
+		cap:       make([]float64, len(m.Links)),
+		version:   make([]int32, len(m.Links)),
+		linkDone:  make([]bool, len(m.Links)),
+		heap:      make(allocHeap, 0, len(m.Flows)+len(m.Links)),
+	}
+	for fi, f := range m.Flows {
+		for _, li := range f.Links {
+			a.linkFlows[li] = append(a.linkFlows[li], int32(fi))
+		}
+	}
+	return a
+}
+
+// solve fills out[i] with the achieved rate of flow i given each flow's
+// activity and demand. demand[i] < 0 means unbounded; demand[i] == 0 pins
+// the flow at zero. Inactive flows get rate 0 and consume nothing. out must
+// have len(m.Flows).
+func (a *allocator) solve(active []bool, demand []float64, out []float64) {
+	m := a.m
+	a.res = out
+	for li := range m.Links {
+		a.activeW[li] = 0
+		a.consumed[li] = 0
+		a.cap[li] = m.Links[li].Capacity
+		a.version[li] = 0
+		a.linkDone[li] = false
+	}
+	a.heap = a.heap[:0]
+
+	// Pre-allocate contracted floors (maxmin.SolveWithMinimums semantics):
+	// capacity minus the active floors is what gets water-filled, and each
+	// contracted flow's effective demand is its excess above the floor.
+	for fi := range m.Flows {
+		f := &m.Flows[fi]
+		out[fi] = 0
+		if !active[fi] || f.Weight <= 0 {
+			a.frozen[fi] = true
+			continue
+		}
+		floor := f.MinRate
+		d := demand[fi]
+		if floor > 0 && d >= 0 && d < floor {
+			// The flow asks for less than its contract; it gets what it
+			// asks for and reserves only that much.
+			floor = d
+		}
+		if floor > 0 {
+			out[fi] = floor
+			for _, li := range f.Links {
+				a.cap[li] -= floor
+				if a.cap[li] < 0 {
+					a.cap[li] = 0
+				}
+			}
+		}
+		if d >= 0 {
+			d -= floor
+			if d <= 0 {
+				a.frozen[fi] = true
+				continue
+			}
+		}
+		a.dem[fi] = d
+		a.frozen[fi] = false
+		for _, li := range f.Links {
+			a.activeW[li] += f.Weight
+		}
+	}
+
+	for fi := range m.Flows {
+		if a.frozen[fi] {
+			continue
+		}
+		if d := a.dem[fi]; d >= 0 {
+			a.heap.push(allocEntry{level: d / m.Flows[fi].Weight, idx: int32(fi), isFlow: true})
+		}
+	}
+	for li := range m.Links {
+		if a.activeW[li] > 0 {
+			a.pushLink(li)
+		} else {
+			a.linkDone[li] = true
+		}
+	}
+
+	for len(a.heap) > 0 {
+		e := a.heap.pop()
+		if e.isFlow {
+			fi := int(e.idx)
+			if a.frozen[fi] {
+				continue
+			}
+			a.freeze(fi, a.dem[fi])
+			continue
+		}
+		li := int(e.idx)
+		if a.linkDone[li] || e.version != a.version[li] {
+			continue
+		}
+		a.linkDone[li] = true
+		level := a.linkLevel(li)
+		for _, fi32 := range a.linkFlows[li] {
+			fi := int(fi32)
+			if a.frozen[fi] {
+				continue
+			}
+			r := level * m.Flows[fi].Weight
+			if d := a.dem[fi]; d >= 0 && r > d {
+				r = d
+			}
+			a.freeze(fi, r)
+		}
+	}
+
+	// Every flow crosses at least one link, so the loop above freezes all
+	// of them; the fallback keeps fuzzed degenerate inputs total.
+	for fi := range m.Flows {
+		if !a.frozen[fi] {
+			a.freeze(fi, 0)
+		}
+	}
+}
+
+// linkLevel is the water level at which link li saturates given its current
+// frozen consumption.
+func (a *allocator) linkLevel(li int) float64 {
+	w := a.activeW[li]
+	if w <= 0 {
+		return 0
+	}
+	level := (a.cap[li] - a.consumed[li]) / w
+	if level < 0 {
+		level = 0
+	}
+	return level
+}
+
+// pushLink (re)enqueues link li's saturation event at its current level.
+func (a *allocator) pushLink(li int) {
+	a.version[li]++
+	a.heap.push(allocEntry{level: a.linkLevel(li), idx: int32(li), version: a.version[li]})
+}
+
+// freeze pins flow fi at excess rate r (on top of any pre-allocated
+// contract floor) and updates its links.
+func (a *allocator) freeze(fi int, r float64) {
+	a.frozen[fi] = true
+	a.res[fi] += r
+	f := &a.m.Flows[fi]
+	for _, li := range f.Links {
+		if a.linkDone[li] {
+			continue
+		}
+		a.consumed[li] += r
+		a.activeW[li] -= f.Weight
+		if a.activeW[li] <= 1e-12 {
+			a.activeW[li] = 0
+			a.linkDone[li] = true
+			continue
+		}
+		a.pushLink(li)
+	}
+}

@@ -1,0 +1,551 @@
+package flowsim
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"repro/internal/adapt"
+	"repro/internal/metrics"
+	"repro/internal/workload"
+)
+
+// Control selects how the fluid control loop generates congestion
+// indications.
+type Control int
+
+const (
+	// ControlMarker models Corelite: a congested link requests enough
+	// marker feedback to shed its offered excess, and each flow's share of
+	// that feedback is proportional to its marker rate (b−min)/w — the
+	// weighted-fair selection of paper §3.2. The edge applies the maximum
+	// over the path's links (m(f) of §2.2); the core drops nothing.
+	ControlMarker Control = iota + 1
+	// ControlLoss models CSFQ: indications are the packets dropped during
+	// the epoch, i.e. (demand − achieved) · epoch, and the drops count as
+	// losses.
+	ControlLoss
+)
+
+// String implements fmt.Stringer.
+func (c Control) String() string {
+	switch c {
+	case ControlMarker:
+		return "marker"
+	case ControlLoss:
+		return "loss"
+	default:
+		return fmt.Sprintf("Control(%d)", int(c))
+	}
+}
+
+// ViolationKind classifies a fluid-model invariant breach.
+type ViolationKind int
+
+const (
+	// KindConservation: a link's achieved rates sum above its capacity.
+	KindConservation ViolationKind = iota + 1
+	// KindBounds: a per-flow rate out of bounds (negative, above the
+	// allowed rate, or an allowed rate below the contract floor).
+	KindBounds
+)
+
+// Violation is one breached fluid invariant. The engine has no packet
+// network to sweep, so it verifies its own model algebra — conservation and
+// rate bounds — and reports breaches through Config.OnViolation.
+type Violation struct {
+	At       time.Duration
+	Kind     ViolationKind
+	Site     string
+	Expected float64
+	Actual   float64
+	Detail   string
+}
+
+// Config parameterizes one engine run.
+type Config struct {
+	// Model is the capacity graph and flow set (required).
+	Model *Model
+	// Horizon is the simulated duration (required).
+	Horizon time.Duration
+	// Epoch is the LIMD control period (0 → 100 ms, the paper's epoch).
+	Epoch time.Duration
+	// SampleWindow is the measurement bin for the output series (0 → 1s).
+	SampleWindow time.Duration
+	// Control selects the Corelite (marker) or CSFQ (loss) recurrence.
+	Control Control
+	// Adapt parameterizes the per-flow controllers (zero → paper
+	// defaults); MinRate is overridden per flow from the model.
+	Adapt adapt.Config
+	// FeedbackGain scales the Corelite feedback volume: a congested link
+	// requests gain·excess/β indications per epoch, enough to shed
+	// `gain` of its offered excess in one period (0 → 1). This is the
+	// fluid stand-in for the packet core's congestion estimator, which
+	// sizes F_n to drain the queue the excess built (§3.1: "the
+	// congestion estimation module can be replaced with no impact on the
+	// rest of the Corelite mechanisms").
+	FeedbackGain float64
+	// Threshold is the congestion detection margin in pkt/s: a link is
+	// congested when the summed demand exceeds capacity − Threshold.
+	Threshold float64
+	// Schedules holds one activity schedule per model flow (nil entries
+	// and a nil slice mean always active).
+	Schedules []workload.Schedule
+	// OnViolation, when non-nil, receives fluid invariant breaches.
+	OnViolation func(Violation)
+	// OnChecks, when non-nil, is told how many invariant comparisons ran
+	// (called once per check batch).
+	OnChecks func(n int64)
+}
+
+// FlowOutput carries one flow's measured series, mirroring the packet
+// harness's FlowRecorder shape.
+type FlowOutput struct {
+	// Allowed samples the controller's allowed rate b_g(f) once per
+	// window.
+	Allowed metrics.Series
+	// Rate is the achieved (delivered) rate per window.
+	Rate metrics.Series
+	// Cumulative is the delivered fluid volume in packets.
+	Cumulative metrics.Series
+	// Delivered and Lost are run totals in (fractional) packets.
+	Delivered float64
+	Lost      float64
+}
+
+// Output is a completed fluid run.
+type Output struct {
+	// Flows is indexed like Model.Flows.
+	Flows []FlowOutput
+	// Events is the number of engine events processed.
+	Events uint64
+}
+
+// Event priorities: at equal timestamps departures free capacity first, then
+// arrivals join, then the control epoch observes the new membership, and the
+// measurement flush reads the post-control state last. The ordering is part
+// of the engine contract (tested in flowsim_test.go) so that, e.g., a flow
+// arriving exactly on an epoch boundary is throttled by that epoch rather
+// than escaping control for a full period.
+const (
+	prioDeparture = iota
+	prioArrival
+	prioEpoch
+	prioFlush
+)
+
+// event is one entry in the engine's time/priority queue.
+type event struct {
+	at   time.Duration
+	prio int8
+	seq  int32 // FIFO tie-break within (at, prio)
+	flow int32 // arrival/departure target
+}
+
+// eventHeap is a binary min-heap over (at, prio, seq).
+type eventHeap []event
+
+func (h eventHeap) less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	if h[i].prio != h[j].prio {
+		return h[i].prio < h[j].prio
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h *eventHeap) push(e event) {
+	*h = append(*h, e)
+	i := len(*h) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(i, parent) {
+			break
+		}
+		(*h)[i], (*h)[parent] = (*h)[parent], (*h)[i]
+		i = parent
+	}
+}
+
+func (h *eventHeap) pop() event {
+	old := *h
+	top := old[0]
+	n := len(old) - 1
+	old[0] = old[n]
+	*h = old[:n]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < n && (*h).less(l, small) {
+			small = l
+		}
+		if r < n && (*h).less(r, small) {
+			small = r
+		}
+		if small == i {
+			break
+		}
+		(*h)[i], (*h)[small] = (*h)[small], (*h)[i]
+		i = small
+	}
+	return top
+}
+
+// engine is one run's mutable state.
+type engine struct {
+	cfg   Config
+	m     *Model
+	alloc *allocator
+
+	active  []bool
+	demand  []float64 // controller allowed rates
+	cur     []float64 // achieved water-filling rates
+	ctrl    []*adapt.Controller
+	cum     []float64 // delivered volume integral
+	lost    []float64 // dropped volume integral (ControlLoss)
+	cumPrev []float64 // cum at the previous flush
+	fb      []float64 // fractional-indication accumulators (see epoch)
+
+	sumDemand []float64 // per-link demand sums, epoch scratch
+	sumMark   []float64 // per-link marker-rate sums, epoch scratch
+
+	lastT  time.Duration
+	out    *Output
+	events eventHeap
+	seq    int32
+}
+
+// Run executes the fluid model to the horizon.
+func Run(cfg Config) (*Output, error) {
+	if cfg.Model == nil {
+		return nil, fmt.Errorf("flowsim: nil model")
+	}
+	if err := cfg.Model.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Horizon <= 0 {
+		return nil, fmt.Errorf("flowsim: non-positive horizon %v", cfg.Horizon)
+	}
+	if cfg.Control != ControlMarker && cfg.Control != ControlLoss {
+		return nil, fmt.Errorf("flowsim: unknown control %d", int(cfg.Control))
+	}
+	if cfg.Epoch <= 0 {
+		cfg.Epoch = 100 * time.Millisecond
+	}
+	if cfg.SampleWindow <= 0 {
+		cfg.SampleWindow = time.Second
+	}
+	if cfg.Adapt == (adapt.Config{}) {
+		cfg.Adapt = adapt.DefaultConfig()
+	}
+	if cfg.FeedbackGain <= 0 {
+		cfg.FeedbackGain = 1
+	}
+	if cfg.Schedules != nil && len(cfg.Schedules) != len(cfg.Model.Flows) {
+		return nil, fmt.Errorf("flowsim: %d schedules for %d flows",
+			len(cfg.Schedules), len(cfg.Model.Flows))
+	}
+
+	n := len(cfg.Model.Flows)
+	e := &engine{
+		cfg:       cfg,
+		m:         cfg.Model,
+		alloc:     newAllocator(cfg.Model),
+		active:    make([]bool, n),
+		demand:    make([]float64, n),
+		cur:       make([]float64, n),
+		ctrl:      make([]*adapt.Controller, n),
+		cum:       make([]float64, n),
+		lost:      make([]float64, n),
+		cumPrev:   make([]float64, n),
+		fb:        make([]float64, n),
+		sumDemand: make([]float64, len(cfg.Model.Links)),
+		sumMark:   make([]float64, len(cfg.Model.Links)),
+		out:       &Output{Flows: make([]FlowOutput, n)},
+	}
+	for i := range e.ctrl {
+		ac := cfg.Adapt
+		ac.MinRate = cfg.Model.Flows[i].MinRate
+		e.ctrl[i] = adapt.NewController(ac)
+	}
+
+	e.schedule()
+	e.run()
+	for i := range e.out.Flows {
+		e.out.Flows[i].Delivered = e.cum[i]
+		e.out.Flows[i].Lost = e.lost[i]
+	}
+	return e.out, nil
+}
+
+// schedule seeds the event queue: per-flow activity windows, control epochs,
+// and measurement flushes.
+func (e *engine) schedule() {
+	horizon := e.cfg.Horizon
+	for i := range e.m.Flows {
+		var sched workload.Schedule
+		if e.cfg.Schedules != nil {
+			sched = e.cfg.Schedules[i]
+		}
+		if sched == nil {
+			sched = workload.Always()
+		}
+		for _, iv := range sched {
+			stop := iv.Stop
+			if stop == 0 || stop > horizon {
+				stop = horizon
+			}
+			if iv.Start >= stop {
+				continue
+			}
+			e.push(event{at: iv.Start, prio: prioArrival, flow: int32(i)})
+			if stop < horizon {
+				e.push(event{at: stop, prio: prioDeparture, flow: int32(i)})
+			}
+		}
+	}
+	for t := e.cfg.Epoch; t <= horizon; t += e.cfg.Epoch {
+		e.push(event{at: t, prio: prioEpoch})
+	}
+	for t := e.cfg.SampleWindow; t <= horizon; t += e.cfg.SampleWindow {
+		e.push(event{at: t, prio: prioFlush})
+	}
+}
+
+func (e *engine) push(ev event) {
+	ev.seq = e.seq
+	e.seq++
+	e.events.push(ev)
+}
+
+// run drains the event queue. Events at the same timestamp are processed in
+// priority order and the allocation is re-solved once per timestamp batch
+// whose events changed membership or demands.
+func (e *engine) run() {
+	dirty := true // initial allocation (with t=0 arrivals applied)
+	flush := false
+	for len(e.events) > 0 {
+		ev := e.events.pop()
+		e.advance(ev.at)
+		e.out.Events++
+		switch ev.prio {
+		case prioDeparture:
+			i := int(ev.flow)
+			e.ctrl[i].Stop()
+			e.active[i] = false
+			e.demand[i] = 0
+			e.fb[i] = 0
+			dirty = true
+		case prioArrival:
+			i := int(ev.flow)
+			e.ctrl[i].Start(ev.at)
+			e.active[i] = true
+			e.demand[i] = e.ctrl[i].Rate()
+			e.fb[i] = 0
+			dirty = true
+		case prioEpoch:
+			e.epoch(ev.at)
+			dirty = true
+		case prioFlush:
+			flush = true
+		}
+		if len(e.events) > 0 && e.events[0].at == ev.at {
+			continue
+		}
+		if dirty {
+			e.alloc.solve(e.active, e.demand, e.cur)
+			dirty = false
+		}
+		if flush {
+			e.flush(ev.at)
+			flush = false
+		}
+	}
+	e.advance(e.cfg.Horizon)
+}
+
+// advance integrates the piecewise-constant rates up to t.
+func (e *engine) advance(t time.Duration) {
+	dt := (t - e.lastT).Seconds()
+	if dt <= 0 {
+		return
+	}
+	e.lastT = t
+	loss := e.cfg.Control == ControlLoss
+	for i, on := range e.active {
+		if !on {
+			continue
+		}
+		e.cum[i] += e.cur[i] * dt
+		if loss {
+			if excess := e.demand[i] - e.cur[i]; excess > 0 {
+				e.lost[i] += excess * dt
+			}
+		}
+	}
+}
+
+// markerRate is the rate at which flow i's edge stamps markers onto its
+// stream: the out-of-profile rate per unit weight, (b − min)/w (the K1
+// spacing constant cancels out of the per-link feedback shares).
+func (e *engine) markerRate(i int) float64 {
+	mr := (e.demand[i] - e.m.Flows[i].MinRate) / e.m.Flows[i].Weight
+	if mr < 0 {
+		return 0
+	}
+	return mr
+}
+
+// epoch runs one LIMD control period ending at now and steps every active
+// controller.
+//
+// ControlMarker: each link offered more demand than capacity requests
+// gain·excess/β marker feedbacks — the volume that sheds its excess in one
+// period — and splits them across its flows proportionally to their marker
+// rates (b−min)/w, exactly how the packet core's weighted-fair selector
+// distributes bounces. A flow's indication count is the maximum over its
+// path links (m(f), §2.2). ControlLoss: a flow's indications are its
+// dropped packets, (demand − achieved)·epoch.
+//
+// Indications are then quantized through a per-flow accumulator: the
+// controller is stepped with zero until a whole indication has built up,
+// mirroring the discreteness of real marker/loss streams. The quantization
+// matters at flow restart — a small flow's expected feedback share is ≪ 1
+// marker per epoch, so it keeps slow-starting instead of being halved by an
+// infinitesimal indication — and in equilibrium, where sub-marker feedback
+// arrives as occasional whole markers between loss-free (increasing)
+// epochs, just as at a packet edge.
+func (e *engine) epoch(now time.Duration) {
+	epochSec := e.cfg.Epoch.Seconds()
+	if e.cfg.Control == ControlMarker {
+		for li := range e.sumDemand {
+			e.sumDemand[li] = 0
+			e.sumMark[li] = 0
+		}
+		for i, on := range e.active {
+			if !on {
+				continue
+			}
+			mr := e.markerRate(i)
+			for _, li := range e.m.Flows[i].Links {
+				e.sumDemand[li] += e.demand[i]
+				e.sumMark[li] += mr
+			}
+		}
+	}
+	beta := e.cfg.Adapt.Beta
+	if beta <= 0 {
+		beta = 1
+	}
+	for i, on := range e.active {
+		if !on {
+			continue
+		}
+		var ind float64
+		switch e.cfg.Control {
+		case ControlMarker:
+			if mr := e.markerRate(i); mr > 0 {
+				for _, li := range e.m.Flows[i].Links {
+					excess := e.sumDemand[li] - (e.m.Links[li].Capacity - e.cfg.Threshold)
+					if excess <= 0 || e.sumMark[li] <= 0 {
+						continue
+					}
+					fn := e.cfg.FeedbackGain * excess / beta
+					if share := fn * mr / e.sumMark[li]; share > ind {
+						ind = share
+					}
+				}
+			}
+		case ControlLoss:
+			if excess := e.demand[i] - e.cur[i]; excess > 0 {
+				ind = excess * epochSec
+			}
+		}
+		e.fb[i] += ind
+		ind = 0
+		if e.fb[i] >= 1 {
+			ind = e.fb[i]
+			e.fb[i] = 0
+		}
+		e.demand[i] = e.ctrl[i].OnEpoch(now, ind)
+	}
+}
+
+// flush closes one measurement window at t: append the window's series
+// samples and run the fluid invariant checks.
+func (e *engine) flush(t time.Duration) {
+	window := e.cfg.SampleWindow.Seconds()
+	for i := range e.out.Flows {
+		f := &e.out.Flows[i]
+		f.Allowed = append(f.Allowed, metrics.Sample{At: t, Value: e.ctrl[i].Rate()})
+		f.Rate = append(f.Rate, metrics.Sample{At: t, Value: (e.cum[i] - e.cumPrev[i]) / window})
+		f.Cumulative = append(f.Cumulative, metrics.Sample{At: t, Value: e.cum[i]})
+		e.cumPrev[i] = e.cum[i]
+	}
+	e.check(t)
+}
+
+// check verifies the fluid invariants at t: per-link conservation of the
+// achieved rates and per-flow rate bounds.
+func (e *engine) check(t time.Duration) {
+	if e.cfg.OnViolation == nil && e.cfg.OnChecks == nil {
+		return
+	}
+	var checks int64
+	report := func(v Violation) {
+		if e.cfg.OnViolation != nil {
+			e.cfg.OnViolation(v)
+		}
+	}
+	const relEps = 1e-9
+	for li := range e.m.Links {
+		checks++
+		sum := 0.0
+		for i, on := range e.active {
+			if !on {
+				continue
+			}
+			for _, l := range e.m.Flows[i].Links {
+				if l == li {
+					sum += e.cur[i]
+					break
+				}
+			}
+		}
+		capacity := e.m.Links[li].Capacity
+		if sum > capacity*(1+relEps)+relEps {
+			report(Violation{At: t, Kind: KindConservation, Site: e.m.Links[li].Name,
+				Expected: capacity, Actual: sum,
+				Detail: "achieved rates sum above link capacity"})
+		}
+	}
+	for i, on := range e.active {
+		if !on {
+			continue
+		}
+		checks += 2
+		if e.cur[i] < -relEps {
+			report(Violation{At: t, Kind: KindBounds, Site: fmt.Sprintf("flow %d", e.m.Flows[i].Index),
+				Expected: 0, Actual: e.cur[i], Detail: "negative achieved rate"})
+		}
+		bound := math.Max(e.demand[i], e.m.Flows[i].MinRate)
+		if e.cur[i] > bound*(1+relEps)+relEps {
+			report(Violation{At: t, Kind: KindBounds, Site: fmt.Sprintf("flow %d", e.m.Flows[i].Index),
+				Expected: bound, Actual: e.cur[i],
+				Detail: "achieved rate above allowed rate"})
+		}
+		if min := e.m.Flows[i].MinRate; min > 0 {
+			checks++
+			if e.demand[i] < min*(1-relEps) {
+				report(Violation{At: t, Kind: KindBounds, Site: fmt.Sprintf("flow %d", e.m.Flows[i].Index),
+					Expected: min, Actual: e.demand[i],
+					Detail: "allowed rate below contract floor"})
+			}
+		}
+	}
+	if e.cfg.OnChecks != nil {
+		e.cfg.OnChecks(checks)
+	}
+}

@@ -58,6 +58,13 @@ const (
 	// RulePool: packet-pool accounting (no double releases; packets live in
 	// the pool's bookkeeping cover at least the packets the links hold).
 	RulePool
+	// RuleFluidConservation: flow-backend link conservation (the sum of
+	// achieved fluid rates on a link never exceeds its capacity).
+	RuleFluidConservation
+	// RuleFluidBounds: flow-backend per-flow rate sanity (achieved rates
+	// non-negative and never above the flow's allowed rate; allowed rates
+	// respect the contract floor).
+	RuleFluidBounds
 )
 
 // String names the rule for reports.
@@ -77,6 +84,10 @@ func (r Rule) String() string {
 		return "fairness"
 	case RulePool:
 		return "pool-accounting"
+	case RuleFluidConservation:
+		return "fluid-conservation"
+	case RuleFluidBounds:
+		return "fluid-bounds"
 	default:
 		return fmt.Sprintf("rule(%d)", int(r))
 	}
@@ -231,6 +242,27 @@ func (c *Checker) Start(sched *sim.Scheduler, horizon time.Duration) {
 		}
 	}
 	sched.MustAfter(every, tick)
+}
+
+// Report records an externally detected violation, honoring the retention
+// cap. Engines without a packet network to sweep (the flow backend) verify
+// their own model invariants and surface findings through this entry point
+// so batch drivers see one uniform violation stream.
+func (c *Checker) Report(v Violation) {
+	if c == nil {
+		return
+	}
+	c.record(v)
+}
+
+// AddChecks counts n externally run invariant comparisons (the flow
+// backend's fluid-model checks), so Checks reflects work done by engines
+// that do not go through the structural sweep path.
+func (c *Checker) AddChecks(n int64) {
+	if c == nil || n <= 0 {
+		return
+	}
+	c.checks += n
 }
 
 // record appends a violation, honoring the retention cap.

@@ -121,6 +121,11 @@ type Config struct {
 	// registries (0 → the experiments default; negative disables
 	// sampling).
 	ObsSample time.Duration
+	// Backend, when non-zero, is applied to every job whose scenario
+	// leaves the backend at the packet default — how a CLI's -backend
+	// flag retargets a whole batch without rebuilding its specs. A job
+	// that explicitly selects a backend keeps it.
+	Backend experiments.Backend
 }
 
 // Pool executes job batches on a bounded set of worker goroutines.
@@ -129,6 +134,7 @@ type Pool struct {
 	onDone    func(Result)
 	observe   bool
 	obsSample time.Duration
+	backend   experiments.Backend
 }
 
 // New returns a pool with the configured worker bound.
@@ -137,7 +143,8 @@ func New(cfg Config) *Pool {
 	if w <= 0 {
 		w = runtime.GOMAXPROCS(0)
 	}
-	return &Pool{workers: w, onDone: cfg.OnDone, observe: cfg.Observe, obsSample: cfg.ObsSample}
+	return &Pool{workers: w, onDone: cfg.OnDone, observe: cfg.Observe,
+		obsSample: cfg.ObsSample, backend: cfg.Backend}
 }
 
 // Workers reports the pool's worker bound.
@@ -214,6 +221,9 @@ func (p *Pool) Execute(ctx context.Context, jobs []Job) ([]Result, error) {
 func (p *Pool) execute(index int, job Job) (res Result) {
 	res = Result{Index: index, Job: job}
 	sc := job.Scenario
+	if sc.Backend == experiments.BackendPacket {
+		sc.Backend = p.backend
+	}
 	if sc.Obs == nil && p.observe {
 		sc.Obs = obs.NewRegistry()
 		sc.ObsSample = p.obsSample

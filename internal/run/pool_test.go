@@ -297,3 +297,43 @@ func TestObservePerJobRegistries(t *testing.T) {
 		}
 	}
 }
+
+// TestBackendOverride pins the Config.Backend contract: the pool retargets
+// jobs that leave the backend at the packet default, and leaves explicit
+// choices alone. The flow run is distinguishable from the packet run by
+// its event count (the fluid engine processes thousands of events where
+// the packet engine processes millions).
+func TestBackendOverride(t *testing.T) {
+	sc := experiments.Fig5Scenario(1)
+	sc.Duration = 10 * time.Second
+
+	packet := New(Config{Workers: 1}).mustExecute(t, Job{Name: "packet", Scenario: sc})
+	flow := New(Config{Workers: 1, Backend: experiments.BackendFlow}).
+		mustExecute(t, Job{Name: "flow", Scenario: sc})
+	if flow.Stats.Events >= packet.Stats.Events {
+		t.Errorf("flow backend processed %d events, packet %d; override did not take",
+			flow.Stats.Events, packet.Stats.Events)
+	}
+
+	// An explicit backend on the scenario wins over the pool default.
+	explicit := sc
+	explicit.Backend = experiments.BackendFlow
+	kept := New(Config{Workers: 1}).mustExecute(t, Job{Name: "explicit", Scenario: explicit})
+	if kept.Stats.Events != flow.Stats.Events {
+		t.Errorf("explicit flow job processed %d events, pool-flow job %d; expected identical runs",
+			kept.Stats.Events, flow.Stats.Events)
+	}
+}
+
+// mustExecute runs one job and fails the test on any error.
+func (p *Pool) mustExecute(t *testing.T, job Job) Result {
+	t.Helper()
+	results, err := p.Execute(context.Background(), []Job{job})
+	if err != nil {
+		t.Fatalf("execute %q: %v", job.Name, err)
+	}
+	if results[0].Err != nil {
+		t.Fatalf("job %q: %v", job.Name, results[0].Err)
+	}
+	return results[0]
+}
