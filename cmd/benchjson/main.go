@@ -226,13 +226,15 @@ func validate(s *Snapshot) error {
 
 // throughputUnits are the higher-is-better custom metrics -compare diffs:
 // packet-engine event throughput and flow-engine simulated flow-seconds
-// per wall second. Only the units in gatedUnits fail the command — the
-// fluid benchmarks finish in milliseconds, so their flowsec/s readings
-// jitter with scheduler noise well beyond any useful gate threshold and
-// are reported for the diff without gating.
+// per wall second. Both units gate the command, each at its own multiple
+// of -max-regress: Mevents/s at 1× and flowsec/s at 3× — the fluid
+// benchmarks finish in milliseconds, so their readings jitter with
+// scheduler noise, but a multi-fold collapse (an accidentally quadratic
+// allocator, say) must still fail the gate. Drops between the base and the
+// widened tolerance are reported as regressed without gating.
 var (
 	throughputUnits = []string{"Mevents/s", "flowsec/s"}
-	gatedUnits      = map[string]bool{"Mevents/s": true}
+	gateTolMult     = map[string]float64{"Mevents/s": 1, "flowsec/s": 3}
 )
 
 // Regression is one gated metric that dropped beyond the tolerance.
@@ -312,11 +314,15 @@ func compareSnapshots(old, cur *Snapshot, maxRegress float64) Report {
 			}
 			status := "ok"
 			if ov > 0 && (ov-nv)/ov > maxRegress {
-				if gatedUnits[unit] {
+				tol := gateTolMult[unit]
+				if tol <= 0 {
+					tol = 1
+				}
+				if (ov-nv)/ov > maxRegress*tol {
 					status = "REGRESSED"
 					rep.Regressions = append(rep.Regressions, Regression{Name: name, Unit: unit, Old: ov, New: nv})
 				} else {
-					status = "regressed (not gated)"
+					status = fmt.Sprintf("regressed (within %.0f%% gate)", maxRegress*tol*100)
 				}
 			}
 			rep.Lines = append(rep.Lines, fmt.Sprintf("%-44s %-10s %8.3f -> %8.3f  %+6.1f%%  %s",

@@ -59,10 +59,11 @@ func TestCompareSnapshots(t *testing.T) {
 	}}
 	cur := &Snapshot{Results: []Result{
 		// A: within 5% (−2.5%), B: regressed (−25%), C: flowsec/s dropped
-		// 40% but that unit is report-only, D: new.
+		// 10% — past the 5% base tolerance but inside the 3×-widened
+		// flowsec/s gate, so reported without gating, D: new.
 		{Name: "BenchmarkA-4", NsPerOp: 100, Metrics: map[string]float64{"Mevents/s": 3.9}},
 		{Name: "BenchmarkB-4", NsPerOp: 100, Metrics: map[string]float64{"Mevents/s": 3.0}},
-		{Name: "BenchmarkC-4", NsPerOp: 100, Metrics: map[string]float64{"flowsec/s": 300000}},
+		{Name: "BenchmarkC-4", NsPerOp: 100, Metrics: map[string]float64{"flowsec/s": 450000}},
 		{Name: "BenchmarkD-4", NsPerOp: 100, Metrics: map[string]float64{"Mevents/s": 1.0}},
 	}}
 	rep := compareSnapshots(old, cur, 0.05)
@@ -80,11 +81,34 @@ func TestCompareSnapshots(t *testing.T) {
 	if !strings.Contains(joined, "REGRESSED") {
 		t.Errorf("report lacks REGRESSED marker:\n%s", joined)
 	}
-	if !strings.Contains(joined, "regressed (not gated)") {
-		t.Errorf("report lacks ungated flowsec/s note:\n%s", joined)
+	if !strings.Contains(joined, "regressed (within 15% gate)") {
+		t.Errorf("report lacks within-widened-gate flowsec/s note:\n%s", joined)
 	}
 	if !strings.Contains(joined, "new benchmark") {
 		t.Errorf("report lacks new-benchmark note:\n%s", joined)
+	}
+}
+
+// TestCompareFlowsecGate pins the flow-backend side of the perf gate: a
+// flowsec/s collapse beyond 3×-max-regress must land in rep.Regressions
+// (the exit-1 path of -compare), not merely be reported.
+func TestCompareFlowsecGate(t *testing.T) {
+	old := &Snapshot{Results: []Result{
+		{Name: "BenchmarkFlowChain10k-8", NsPerOp: 100, Metrics: map[string]float64{"flowsec/s": 500000}},
+	}}
+	cur := &Snapshot{Results: []Result{
+		{Name: "BenchmarkFlowChain10k-4", NsPerOp: 100, Metrics: map[string]float64{"flowsec/s": 200000}},
+	}}
+	rep := compareSnapshots(old, cur, 0.05)
+	if len(rep.Regressions) != 1 {
+		t.Fatalf("Regressions = %+v, want exactly one", rep.Regressions)
+	}
+	reg := rep.Regressions[0]
+	if reg.Name != "BenchmarkFlowChain10k" || reg.Unit != "flowsec/s" || reg.Old != 500000 || reg.New != 200000 {
+		t.Errorf("regression = %+v", reg)
+	}
+	if joined := strings.Join(rep.Lines, "\n"); !strings.Contains(joined, "REGRESSED") {
+		t.Errorf("report lacks REGRESSED marker:\n%s", joined)
 	}
 }
 

@@ -15,10 +15,20 @@
 // when -runs > 1).
 //
 // With -obs DIR each run additionally captures control-plane telemetry and
-// writes events.jsonl, events.csv, series.csv, counters.csv and trace.json
-// into DIR (rN.-prefixed per replica); trace.json loads in chrome://tracing
-// or Perfetto. -cpuprofile and -memprofile write host pprof profiles of the
-// simulation.
+// writes events.jsonl, events.csv, series.csv, counters.csv, hist.jsonl,
+// hist.csv, perf.csv and trace.json into DIR (rN.-prefixed per replica);
+// trace.json loads in chrome://tracing or Perfetto. -obs works on both
+// backends: the packet engine contributes queueing-delay and feedback-RTT
+// histograms plus the event-loop profile (perf.csv), the flow backend
+// contributes rate/alpha/fn gauge series, epoch counters and water-filling
+// solve-time histograms. -cpuprofile and -memprofile write host pprof
+// profiles on either backend (the profile covers the whole process — on
+// the packet backend it is dominated by the event loop, on the flow
+// backend by the allocator solves).
+//
+// With -progress the tool prints one aggregated live-progress line to
+// stderr every 2 seconds (runs done/running, simulated seconds and rate,
+// throughput, active flows, ETA) — useful for long runs and -runs batches.
 //
 // With -check each run carries the runtime invariant checker (packet/byte
 // conservation, queue bounds, marker accounting, fairness residual vs the
@@ -66,7 +76,8 @@ func run(args []string, stdout io.Writer) error {
 		summary  = fs.Bool("summary", true, "print the per-flow summary")
 		runs     = fs.Int("runs", 1, "seed replicas of the scenario (derived per-run seeds)")
 		parallel = fs.Int("parallel", runtime.GOMAXPROCS(0), "concurrent replicas (1 = serial)")
-		obsDir   = fs.String("obs", "", "directory for control-plane telemetry (events JSONL/CSV, sampled series, Chrome trace)")
+		obsDir   = fs.String("obs", "", "directory for control-plane telemetry (events JSONL/CSV, sampled series, histograms, engine perf profile, Chrome trace)")
+		progress = fs.Bool("progress", false, "print aggregated live progress (sim-time rate, throughput, active flows, ETA) to stderr every 2s")
 		check    = fs.Bool("check", false, "attach the runtime invariant checker (conservation, queue bounds, marker accounting, fairness residual); violations fail the run")
 		checkTol = fs.Float64("check-tol", 0.05, "fairness-residual tolerance for -check")
 		cpuProf  = fs.String("cpuprofile", "", "write a host CPU profile of the simulation to this file")
@@ -175,7 +186,12 @@ func run(args []string, stdout io.Writer) error {
 	if err != nil {
 		return err
 	}
-	results, err := corelite.RunBatch(context.Background(), *parallel, jobs)
+	poolCfg := corelite.PoolConfig{Workers: *parallel}
+	if *progress {
+		poolCfg.ProgressEvery = 2 * time.Second
+		poolCfg.OnProgress = func(u corelite.ProgressUpdate) { fmt.Fprintln(os.Stderr, u) }
+	}
+	results, err := corelite.NewPool(poolCfg).Execute(context.Background(), jobs)
 	if stopErr := stopCPU(); stopErr != nil && err == nil {
 		err = stopErr
 	}

@@ -13,8 +13,15 @@
 // gets its own registry, so parallel runs never share) and writes a
 // figN.-prefixed bundle — events as JSONL/CSV, the sampled gauge series, and
 // a Chrome trace_event timeline — into DIR. The figure CSVs are
-// byte-identical with telemetry on or off. -cpuprofile/-memprofile write
-// host pprof profiles.
+// byte-identical with telemetry on or off. The bundle also carries the
+// engine self-profile: per-handler-kind event/wall-time attribution
+// (perf.csv) and latency histograms (hist.jsonl/hist.csv).
+// -cpuprofile/-memprofile write host pprof profiles.
+//
+// With -progress the pool prints one aggregated live-progress line to
+// stderr every 2 seconds (jobs done/running, simulated seconds and rate,
+// Mevents/s or flow·s/s, active flows, ETA) — for watching long batches on
+// either backend.
 //
 // With -check every figure run carries the runtime invariant checker
 // (conservation, queue bounds, marker accounting, fairness residual vs the
@@ -122,6 +129,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	fs.Var(&figs, "fig", "figure number to regenerate (repeatable; default all)")
 	gnuplot := fs.Bool("gnuplot", false, "also write a gnuplot script per figure")
 	obsDir := fs.String("obs", "", "directory for per-figure control-plane telemetry (figN.events.jsonl, figN.series.csv, figN.trace.json, ...)")
+	progress := fs.Bool("progress", false, "print aggregated live progress (events/s, sim-time rate, active flows, ETA) to stderr every 2s")
 	check := fs.Bool("check", false, "attach the runtime invariant checker to every figure run (per-figure fairness tolerance); violations fail the command")
 	cpuProf := fs.String("cpuprofile", "", "write a host CPU profile of the batch to this file")
 	memProf := fs.String("memprofile", "", "write a post-run heap profile to this file")
@@ -172,7 +180,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	// Progress lines land on stderr in completion order; the per-figure
 	// CSVs and summaries below are emitted in figure order, so files and
 	// stdout are byte-identical for any worker count.
-	pool := corelite.NewPool(corelite.PoolConfig{
+	poolCfg := corelite.PoolConfig{
 		Workers: *parallel,
 		Backend: be,
 		Observe: *obsDir != "",
@@ -184,7 +192,12 @@ func run(args []string, stdout, stderr io.Writer) error {
 			fmt.Fprintf(stderr, "%-6s done in %v (%d events, %.2f Mevents/s)\n",
 				r.Job.Name, r.Stats.Wall.Round(time.Millisecond), r.Stats.Events, r.Stats.EventsPerSec/1e6)
 		},
-	})
+	}
+	if *progress {
+		poolCfg.ProgressEvery = 2 * time.Second
+		poolCfg.OnProgress = func(u corelite.ProgressUpdate) { fmt.Fprintln(stderr, u) }
+	}
+	pool := corelite.NewPool(poolCfg)
 	stopCPU, err := corelite.StartCPUProfile(*cpuProf)
 	if err != nil {
 		return err

@@ -8,6 +8,14 @@
 // metrics and convergence detection on top.
 //
 //	fluid -capacity 500 -weights 1,1,2,2,3,3,4,4,5,5 -epochs 20000
+//	fluid -epochs 200000 -progress -obs out/obs
+//
+// With -obs DIR the tool writes a telemetry bundle of the trajectory into
+// DIR (limd.-prefixed): per-flow rate/<i> gauge series sampled at every
+// recorded state (epochs mapped to simulated time at 100 ms per epoch),
+// exported as series.csv, counters.csv, hist/perf stubs and a Chrome
+// trace. With -progress a wall-clock ticker prints live iteration progress
+// to stderr every 2 seconds. Neither flag changes the printed trajectory.
 package main
 
 import (
@@ -17,10 +25,12 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"repro/internal/analysis"
 	"repro/internal/flowsim"
 	"repro/internal/maxmin"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -39,6 +49,8 @@ func run(args []string) error {
 	sample := fs.Int("sample", 1000, "print every N-th state")
 	tol := fs.Float64("tol", 0.1, "convergence tolerance for the summary")
 	check := fs.Bool("check", false, "verify the final fluid rates against the weighted max-min oracle (within -tol); a mismatch fails the command")
+	obsDir := fs.String("obs", "", "directory for a telemetry bundle of the trajectory (limd.series.csv, limd.trace.json, ...)")
+	progress := fs.Bool("progress", false, "print live iteration progress to stderr every 2s")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -61,9 +73,47 @@ func run(args []string) error {
 	}
 
 	cfg := flowsim.LIMDConfig{Capacity: *capacity, Weights: weights, Initial: initial}
+	var stopProgress func()
+	if *progress {
+		tracker := new(obs.Progress)
+		cfg.Progress = tracker
+		stop := make(chan struct{})
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			tick := time.NewTicker(2 * time.Second)
+			defer tick.Stop()
+			for {
+				select {
+				case <-stop:
+					return
+				case <-tick.C:
+					s := tracker.Snapshot()
+					pct := 0.0
+					if s.Horizon > 0 {
+						pct = 100 * float64(s.Sim) / float64(s.Horizon)
+					}
+					fmt.Fprintf(os.Stderr, "progress epoch %d/%d (%.1f%%), %d flows\n",
+						s.Events, *epochs, pct, s.ActiveFlows)
+				}
+			}
+		}()
+		stopProgress = func() {
+			close(stop)
+			<-done
+		}
+	}
 	states, err := flowsim.RunLIMD(cfg, *epochs, *sample)
+	if stopProgress != nil {
+		stopProgress()
+	}
 	if err != nil {
 		return err
+	}
+	if *obsDir != "" {
+		if err := writeObsBundle(*obsDir, states, len(weights), *epochs); err != nil {
+			return err
+		}
 	}
 	traj := make(analysis.Trajectory, len(states))
 	for i, st := range states {
@@ -85,6 +135,34 @@ func run(args []string) error {
 	}
 	if *check {
 		return checkOracle(traj.Final(), weights, *capacity, *tol)
+	}
+	return nil
+}
+
+// writeObsBundle exports the recorded trajectory as a standard telemetry
+// bundle: one rate/<i> gauge per flow, sampled at every recorded state with
+// epochs mapped onto simulated time at flowsim.LIMDEpoch per iteration, plus
+// the iteration counter. The bundle is derived from the already-computed
+// states, so it can never perturb the trajectory.
+func writeObsBundle(dir string, states []flowsim.LIMDState, flows, epochs int) error {
+	reg := obs.NewRegistry()
+	gauges := make([]*obs.Gauge, flows)
+	for i := range gauges {
+		gauges[i] = reg.Gauge(obs.PrefixRate + strconv.Itoa(i))
+	}
+	for _, st := range states {
+		for i, g := range gauges {
+			g.Set(st.Rates[i])
+		}
+		reg.Sample(time.Duration(st.Epoch) * flowsim.LIMDEpoch)
+	}
+	reg.Counter("fluid/epochs").Add(int64(epochs))
+	paths, err := reg.WriteDir(dir, "limd.")
+	if err != nil {
+		return err
+	}
+	for _, p := range paths {
+		fmt.Println("wrote", p)
 	}
 	return nil
 }

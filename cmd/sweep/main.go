@@ -46,6 +46,7 @@ func mainRun(args []string, stdout, stderr io.Writer) error {
 	duration := fs.Duration("duration", 80*time.Second, "simulated duration per point")
 	parallel := fs.Int("parallel", runtime.GOMAXPROCS(0), "concurrent sweep points (1 = serial)")
 	obsDir := fs.String("obs", "", "directory for per-point control-plane telemetry bundles")
+	progress := fs.Bool("progress", false, "print aggregated live progress (sim-time rate, throughput, ETA) to stderr every 2s")
 	check := fs.Bool("check", false, "attach the runtime invariant checker to every sweep point; violations fail the command")
 	checkTol := fs.Float64("check-tol", 0.25, "fairness-residual tolerance for -check (wide by default: sweep points intentionally include badly tuned settings)")
 	cpuProf := fs.String("cpuprofile", "", "write a host CPU profile of the sweep to this file")
@@ -82,7 +83,7 @@ func mainRun(args []string, stdout, stderr io.Writer) error {
 		}
 	}
 
-	pool := run.New(run.Config{
+	poolCfg := run.Config{
 		Workers: *parallel,
 		Backend: be,
 		Observe: *obsDir != "",
@@ -93,7 +94,12 @@ func mainRun(args []string, stdout, stderr io.Writer) error {
 			fmt.Fprintf(stderr, "%-28s done in %v (%d events)\n",
 				r.Job.Name, r.Stats.Wall.Round(time.Millisecond), r.Stats.Events)
 		},
-	})
+	}
+	if *progress {
+		poolCfg.ProgressEvery = 2 * time.Second
+		poolCfg.OnProgress = func(u run.ProgressUpdate) { fmt.Fprintln(stderr, u) }
+	}
+	pool := run.New(poolCfg)
 	stopCPU, err := obs.StartCPUProfile(*cpuProf)
 	if err != nil {
 		return err
@@ -134,7 +140,7 @@ func mainRun(args []string, stdout, stderr io.Writer) error {
 		}
 	}
 	if *obsDir != "" {
-		fmt.Fprintf(stdout, "\ntelemetry bundles in %s (one per point: events.jsonl, events.csv, series.csv, counters.csv, trace.json)\n", *obsDir)
+		fmt.Fprintf(stdout, "\ntelemetry bundles in %s (one per point: events.jsonl, events.csv, series.csv, counters.csv, hist.jsonl, hist.csv, perf.csv, trace.json)\n", *obsDir)
 	}
 	return nil
 }

@@ -283,6 +283,14 @@ type (
 	ControlEvent = obs.ControlEvent
 	// ControlKind enumerates control-plane event kinds.
 	ControlKind = obs.ControlKind
+	// ObsHistogram is a log-bucketed latency/duration histogram instrument.
+	ObsHistogram = obs.Histogram
+	// RunProgress is the lock-free per-run liveness tracker read by
+	// wall-clock progress reporters (Scenario.Progress).
+	RunProgress = obs.Progress
+	// ProgressUpdate is one fleet-wide live-progress observation delivered
+	// by PoolConfig.OnProgress.
+	ProgressUpdate = run.ProgressUpdate
 )
 
 // Observability constructors and profiling hooks.

@@ -256,13 +256,96 @@ func TestPublicObsDeterminism(t *testing.T) {
 	if sum.Samples == 0 || sum.Events == 0 || sum.FeedbackSent == 0 {
 		t.Fatalf("observed run captured no telemetry: %+v", sum)
 	}
+	// Ditto for the perf layer that rides along automatically: the
+	// event-loop profile must attribute events to handler kinds, and the
+	// queue-wait/feedback-RTT histograms must have observations.
+	perf := reg.Perf()
+	if len(perf) == 0 {
+		t.Fatal("observed run recorded no event-loop profile")
+	}
+	var perfEvents uint64
+	for _, st := range perf {
+		perfEvents += st.Events
+	}
+	if perfEvents != obsRes.Events {
+		t.Errorf("profile attributes %d events, run processed %d", perfEvents, obsRes.Events)
+	}
+	hists := reg.Histograms()
+	if len(hists) == 0 {
+		t.Fatal("observed run recorded no latency histograms")
+	}
+	var histObs uint64
+	for _, h := range hists {
+		histObs += h.Count()
+	}
+	if histObs == 0 {
+		t.Error("latency histograms captured no observations")
+	}
 
 	if !bytes.Equal(renderAll(plainRes), renderAll(obsRes)) {
 		t.Error("figure CSV output differs between obs-on and obs-off runs")
 	}
 	// The only permitted difference is the processed-event count: exactly
-	// one scheduler event per sampling instant.
+	// one scheduler event per sampling instant — the profiler and the
+	// histograms observe wall-clock-side only and add no scheduler events.
 	if extra := obsRes.Events - plainRes.Events; extra != uint64(sum.Samples) {
 		t.Errorf("event count grew by %d, want exactly the %d sampler ticks", extra, sum.Samples)
+	}
+}
+
+// TestPublicObsDeterminismFlow is the same zero-perturbation guarantee for
+// the flow (fluid) backend: first-class telemetry (rate/alpha/fn gauges,
+// epoch counters, solve-time histograms) samples only at existing epoch
+// batches and times solves on the wall clock, so the figure CSVs and the
+// event count are identical with the registry attached or not.
+func TestPublicObsDeterminismFlow(t *testing.T) {
+	base := corelite.Fig5Scenario(1)
+	base.Backend = corelite.BackendFlow
+	base.Duration = 25 * time.Second
+
+	renderAll := func(res *corelite.Result) []byte {
+		var buf bytes.Buffer
+		for _, kind := range []corelite.SeriesKind{
+			corelite.SeriesAllowed, corelite.SeriesReceived, corelite.SeriesCumulative,
+		} {
+			if err := corelite.WriteCSV(&buf, res, kind); err != nil {
+				t.Fatalf("WriteCSV %v: %v", kind, err)
+			}
+		}
+		return buf.Bytes()
+	}
+
+	plainRes, err := corelite.Run(base)
+	if err != nil {
+		t.Fatalf("plain run: %v", err)
+	}
+
+	observed := base
+	reg := corelite.NewObsRegistry()
+	observed.Obs = reg
+	obsRes, err := corelite.Run(observed)
+	if err != nil {
+		t.Fatalf("observed run: %v", err)
+	}
+
+	sum := reg.Summary()
+	if sum.Samples == 0 {
+		t.Fatalf("observed flow run captured no samples: %+v", sum)
+	}
+	var solves uint64
+	for _, h := range reg.Histograms() {
+		solves += h.Count()
+	}
+	if solves == 0 {
+		t.Error("observed flow run recorded no solve-time observations")
+	}
+
+	if !bytes.Equal(renderAll(plainRes), renderAll(obsRes)) {
+		t.Error("flow-backend figure CSV output differs between obs-on and obs-off runs")
+	}
+	// The fluid engine samples gauges at existing epoch batches, so the
+	// event count must not change at all.
+	if obsRes.Events != plainRes.Events {
+		t.Errorf("event count changed: %d with obs, %d without", obsRes.Events, plainRes.Events)
 	}
 }

@@ -482,6 +482,7 @@ func (e *Edge) scheduleEpoch() {
 // core router this epoch (already applied incrementally unless
 // DeferDecrease is set), or grow by α on a quiet epoch.
 func (e *Edge) onEpoch() {
+	e.net.Scheduler().MarkHandler(sim.KindControl)
 	now := e.net.Now()
 	for _, f := range e.flows {
 		if !f.pipe.Active() {

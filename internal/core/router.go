@@ -405,6 +405,7 @@ func (r *Router) scheduleEpoch() {
 // onEpoch performs incipient congestion detection (§3.1) per link and hands
 // the computed F_n to the link's selector.
 func (r *Router) onEpoch() {
+	r.net.Scheduler().MarkHandler(sim.KindControl)
 	now := r.net.Now()
 	for _, ls := range r.links {
 		qavg := ls.link.Monitor().EndEpoch(now)

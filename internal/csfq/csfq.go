@@ -267,6 +267,7 @@ func (e *Edge) scheduleEpoch() {
 }
 
 func (e *Edge) onEpoch() {
+	e.net.Scheduler().MarkHandler(sim.KindControl)
 	now := e.net.Now()
 	for _, f := range e.flows {
 		if !f.src.Active() {

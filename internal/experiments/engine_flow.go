@@ -85,6 +85,9 @@ func (flowEngine) Run(sc Scenario) (*Result, error) {
 		Schedules:    schedules,
 		OnViolation:  onViolation,
 		OnChecks:     onChecks,
+		Obs:          sc.Obs,
+		ObsSample:    sc.ObsSample,
+		Progress:     sc.Progress,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("run scenario %q: %w", sc.Name, err)

@@ -140,6 +140,13 @@ type Scenario struct {
 	// oracle over the last steady window. Like Obs, the checker must be
 	// fresh (one checker per run); findings surface in Result.Violations.
 	Check *invariant.Checker
+
+	// Progress, when non-nil, receives live liveness updates (simulated
+	// time, processed events, active flows) from the engine so a wall-clock
+	// reporter goroutine can display run progress. Updates happen at
+	// measurement boundaries only — never per event — and on the wall-clock
+	// side of the zero-perturbation contract.
+	Progress *obs.Progress
 }
 
 // Transport selects a flow's packet producer.
@@ -390,6 +397,8 @@ func (packetEngine) Run(sc Scenario) (*Result, error) {
 	if sc.Tracer != nil {
 		net.SetTracer(sc.Tracer)
 	}
+	var prof *sim.LoopProfiler
+	var rttHist *obs.Histogram
 	if sc.Obs != nil {
 		// Attach before router/edge construction: instruments are grabbed
 		// once at construction time.
@@ -401,7 +410,14 @@ func (packetEngine) Run(sc Scenario) (*Result, error) {
 		if every > 0 {
 			sc.Obs.StartSampler(sched, every, sc.Duration)
 		}
+		// The event-loop profiler rides along with any attached registry:
+		// per-kind event counts are exact, wall time is sampled every
+		// stride-th event so the hot path stays within the overhead budget.
+		prof = sim.NewLoopProfiler(0)
+		sched.SetProfiler(prof)
+		rttHist = sc.Obs.Histogram(obs.HistFeedbackRTT, "s")
 	}
+	sc.Progress.SetHorizon(sc.Duration)
 	sc.Check.Attach(net)
 
 	rec := metrics.NewFlowRecorder(sc.SampleWindow)
@@ -476,7 +492,11 @@ func (packetEngine) Run(sc Scenario) (*Result, error) {
 				}
 				local := m.Flow.Local
 				// Control-plane delivery with the reverse-path latency.
+				sent := net.Now()
 				_ = net.SendControl(routerNode, m.Flow.Edge, func() {
+					if rttHist != nil {
+						rttHist.Observe((net.Now() - sent).Seconds())
+					}
 					e.HandleFeedback(local, coreID)
 				})
 			}
@@ -554,6 +574,7 @@ func (packetEngine) Run(sc Scenario) (*Result, error) {
 	// Measurement: flush windows and sample allowed rates.
 	var sampler func()
 	sampler = func() {
+		sched.MarkHandler(sim.KindMeasure)
 		now := net.Now()
 		rec.Flush(now)
 		for _, ref := range refs {
@@ -562,6 +583,15 @@ func (packetEngine) Run(sc Scenario) (*Result, error) {
 				rate = 0
 			}
 			ref.allowed = append(ref.allowed, metrics.Sample{At: now, Value: rate})
+		}
+		if sc.Progress != nil {
+			active := 0
+			for _, ref := range refs {
+				if scheduleOf(sc, ref.placement.Index).ActiveAt(now, sc.Duration) {
+					active++
+				}
+			}
+			sc.Progress.Update(now, sched.Processed(), active)
 		}
 		if now < sc.Duration {
 			sched.MustAfter(sc.SampleWindow, sampler)
@@ -576,6 +606,21 @@ func (packetEngine) Run(sc Scenario) (*Result, error) {
 	// Final structural sweep at the horizon (the periodic sweeps stop at
 	// the last multiple of the interval).
 	sc.Check.Sweep(net.Now())
+	if prof != nil {
+		stats := prof.Snapshot()
+		perf := make([]obs.PerfStat, 0, len(stats))
+		for _, st := range stats {
+			perf = append(perf, obs.PerfStat{
+				Kind:        st.Kind.String(),
+				Events:      st.Events,
+				WallSeconds: st.EstWall.Seconds(),
+				Sampled:     st.Sampled,
+			})
+		}
+		sc.Obs.RecordPerf(perf)
+	}
+	sc.Progress.Update(sc.Duration, sched.Processed(), 0)
+	sc.Progress.MarkDone()
 
 	expected, err := expectedRates(sc, cloud, nil)
 	if err != nil {

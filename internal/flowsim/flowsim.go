@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/adapt"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/workload"
 )
 
@@ -96,6 +97,21 @@ type Config struct {
 	// OnChecks, when non-nil, is told how many invariant comparisons ran
 	// (called once per check batch).
 	OnChecks func(n int64)
+	// Obs, when non-nil, records fluid-engine telemetry: per-flow rate and
+	// phase gauges, per-link alpha/fn gauges, epoch and feedback counters,
+	// and the wall-clock water-filling solve-time histogram (see obs.go).
+	// The registry must be fresh (one registry per run). Attaching it never
+	// changes the Output — instruments are sampled at existing epoch
+	// boundaries and schedule no events of their own.
+	Obs *obs.Registry
+	// ObsSample is the gauge sampling interval, rounded to whole epochs:
+	// 0 samples every epoch, negative disables the time series while
+	// keeping counters and histograms.
+	ObsSample time.Duration
+	// Progress, when non-nil, receives live liveness updates (simulated
+	// time, events, active flows, flow-seconds) at measurement flushes for
+	// a wall-clock reporter goroutine to read.
+	Progress *obs.Progress
 }
 
 // FlowOutput carries one flow's measured series, mirroring the packet
@@ -210,11 +226,25 @@ type engine struct {
 
 	sumDemand []float64 // per-link demand sums, epoch scratch
 	sumMark   []float64 // per-link marker-rate sums, epoch scratch
+	linkFn    []float64 // per-link feedback volume of the last epoch
 
 	lastT  time.Duration
 	out    *Output
 	events eventHeap
 	seq    int32
+
+	// Liveness bookkeeping (Progress) and observability hooks (Obs). All
+	// instrument pointers are nil-receiver-safe, so the hot path pays a nil
+	// check at most.
+	nActive     int
+	flowSec     float64 // ∫ active dt, simulated flow-seconds
+	flowSecSent float64 // portion already published to Progress
+	solveHist   *obs.Histogram
+	ctrEpochs   *obs.Counter
+	ctrCong     *obs.Counter
+	ctrFeedback *obs.Counter
+	obsEvery    int // gauge sampling cadence in epochs; 0 = off
+	epochN      int
 }
 
 // Run executes the fluid model to the horizon.
@@ -263,6 +293,7 @@ func Run(cfg Config) (*Output, error) {
 		fb:        make([]float64, n),
 		sumDemand: make([]float64, len(cfg.Model.Links)),
 		sumMark:   make([]float64, len(cfg.Model.Links)),
+		linkFn:    make([]float64, len(cfg.Model.Links)),
 		out:       &Output{Flows: make([]FlowOutput, n)},
 	}
 	for i := range e.ctrl {
@@ -270,9 +301,15 @@ func Run(cfg Config) (*Output, error) {
 		ac.MinRate = cfg.Model.Flows[i].MinRate
 		e.ctrl[i] = adapt.NewController(ac)
 	}
+	e.attachObs()
+	cfg.Progress.SetHorizon(cfg.Horizon)
 
 	e.schedule()
 	e.run()
+	cfg.Progress.Update(cfg.Horizon, e.out.Events, 0)
+	cfg.Progress.AddFlowSec(e.flowSec - e.flowSecSent)
+	e.flowSecSent = e.flowSec
+	cfg.Progress.MarkDone()
 	for i := range e.out.Flows {
 		e.out.Flows[i].Delivered = e.cum[i]
 		e.out.Flows[i].Lost = e.lost[i]
@@ -326,6 +363,7 @@ func (e *engine) push(ev event) {
 func (e *engine) run() {
 	dirty := true // initial allocation (with t=0 arrivals applied)
 	flush := false
+	sample := false
 	for len(e.events) > 0 {
 		ev := e.events.pop()
 		e.advance(ev.at)
@@ -337,6 +375,7 @@ func (e *engine) run() {
 			e.active[i] = false
 			e.demand[i] = 0
 			e.fb[i] = 0
+			e.nActive--
 			dirty = true
 		case prioArrival:
 			i := int(ev.flow)
@@ -344,10 +383,17 @@ func (e *engine) run() {
 			e.active[i] = true
 			e.demand[i] = e.ctrl[i].Rate()
 			e.fb[i] = 0
+			e.nActive++
 			dirty = true
 		case prioEpoch:
 			e.epoch(ev.at)
 			dirty = true
+			if e.obsEvery > 0 {
+				e.epochN++
+				if e.epochN%e.obsEvery == 0 {
+					sample = true
+				}
+			}
 		case prioFlush:
 			flush = true
 		}
@@ -355,8 +401,15 @@ func (e *engine) run() {
 			continue
 		}
 		if dirty {
-			e.alloc.solve(e.active, e.demand, e.cur)
+			e.solve()
 			dirty = false
+		}
+		if sample {
+			// Gauge snapshot at the epoch boundary, after the re-solve, on
+			// the engine's own event — no extra events, no model reads that
+			// could perturb integration intervals.
+			e.cfg.Obs.Sample(ev.at)
+			sample = false
 		}
 		if flush {
 			e.flush(ev.at)
@@ -366,6 +419,18 @@ func (e *engine) run() {
 	e.advance(e.cfg.Horizon)
 }
 
+// solve re-runs the water-filling allocation, timing it (wall clock) when
+// the solve histogram is attached.
+func (e *engine) solve() {
+	if e.solveHist == nil {
+		e.alloc.solve(e.active, e.demand, e.cur)
+		return
+	}
+	t0 := time.Now()
+	e.alloc.solve(e.active, e.demand, e.cur)
+	e.solveHist.Observe(time.Since(t0).Seconds())
+}
+
 // advance integrates the piecewise-constant rates up to t.
 func (e *engine) advance(t time.Duration) {
 	dt := (t - e.lastT).Seconds()
@@ -373,6 +438,7 @@ func (e *engine) advance(t time.Duration) {
 		return
 	}
 	e.lastT = t
+	e.flowSec += float64(e.nActive) * dt
 	loss := e.cfg.Control == ControlLoss
 	for i, on := range e.active {
 		if !on {
@@ -419,6 +485,10 @@ func (e *engine) markerRate(i int) float64 {
 // epochs, just as at a packet edge.
 func (e *engine) epoch(now time.Duration) {
 	epochSec := e.cfg.Epoch.Seconds()
+	beta := e.cfg.Adapt.Beta
+	if beta <= 0 {
+		beta = 1
+	}
 	if e.cfg.Control == ControlMarker {
 		for li := range e.sumDemand {
 			e.sumDemand[li] = 0
@@ -434,11 +504,18 @@ func (e *engine) epoch(now time.Duration) {
 				e.sumMark[li] += mr
 			}
 		}
+		// Per-link feedback volume F_n = gain·excess/β, computed once per
+		// link (the fn/<link> gauges read it between epochs).
+		for li := range e.linkFn {
+			excess := e.sumDemand[li] - (e.m.Links[li].Capacity - e.cfg.Threshold)
+			if excess > 0 && e.sumMark[li] > 0 {
+				e.linkFn[li] = e.cfg.FeedbackGain * excess / beta
+			} else {
+				e.linkFn[li] = 0
+			}
+		}
 	}
-	beta := e.cfg.Adapt.Beta
-	if beta <= 0 {
-		beta = 1
-	}
+	anyInd := false
 	for i, on := range e.active {
 		if !on {
 			continue
@@ -448,12 +525,10 @@ func (e *engine) epoch(now time.Duration) {
 		case ControlMarker:
 			if mr := e.markerRate(i); mr > 0 {
 				for _, li := range e.m.Flows[i].Links {
-					excess := e.sumDemand[li] - (e.m.Links[li].Capacity - e.cfg.Threshold)
-					if excess <= 0 || e.sumMark[li] <= 0 {
+					if e.linkFn[li] <= 0 {
 						continue
 					}
-					fn := e.cfg.FeedbackGain * excess / beta
-					if share := fn * mr / e.sumMark[li]; share > ind {
+					if share := e.linkFn[li] * mr / e.sumMark[li]; share > ind {
 						ind = share
 					}
 				}
@@ -463,13 +538,21 @@ func (e *engine) epoch(now time.Duration) {
 				ind = excess * epochSec
 			}
 		}
+		if ind > 0 {
+			anyInd = true
+		}
 		e.fb[i] += ind
 		ind = 0
 		if e.fb[i] >= 1 {
 			ind = e.fb[i]
 			e.fb[i] = 0
+			e.ctrFeedback.Add(int64(ind))
 		}
 		e.demand[i] = e.ctrl[i].OnEpoch(now, ind)
+	}
+	e.ctrEpochs.Inc()
+	if anyInd {
+		e.ctrCong.Inc()
 	}
 }
 
@@ -483,6 +566,11 @@ func (e *engine) flush(t time.Duration) {
 		f.Rate = append(f.Rate, metrics.Sample{At: t, Value: (e.cum[i] - e.cumPrev[i]) / window})
 		f.Cumulative = append(f.Cumulative, metrics.Sample{At: t, Value: e.cum[i]})
 		e.cumPrev[i] = e.cum[i]
+	}
+	if e.cfg.Progress != nil {
+		e.cfg.Progress.Update(t, e.out.Events, e.nActive)
+		e.cfg.Progress.AddFlowSec(e.flowSec - e.flowSecSent)
+		e.flowSecSent = e.flowSec
 	}
 	e.check(t)
 }

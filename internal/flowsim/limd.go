@@ -3,6 +3,9 @@ package flowsim
 import (
 	"errors"
 	"fmt"
+	"time"
+
+	"repro/internal/obs"
 )
 
 // This file is the single-bottleneck LIMD recurrence of paper §2.2 — the
@@ -34,7 +37,17 @@ type LIMDConfig struct {
 	// Threshold is the congestion detection margin: feedback fires when
 	// Σb > Capacity − Threshold (default 0).
 	Threshold float64
+	// Progress, when non-nil, receives live iteration progress (updated at
+	// every recorded sample, with epochs mapped to simulated time at the
+	// paper's 100 ms per epoch) for a wall-clock reporter goroutine to
+	// read. Purely observational: it never changes the trajectory.
+	Progress *obs.Progress
 }
+
+// LIMDEpoch is the simulated duration one RunLIMD iteration stands for (the
+// paper's 100 ms control epoch) — used to map epoch counts onto the
+// simulated-time axis for progress reporting and telemetry export.
+const LIMDEpoch = 100 * time.Millisecond
 
 // LIMDState is one trajectory snapshot.
 type LIMDState struct {
@@ -97,11 +110,13 @@ func RunLIMD(cfg LIMDConfig, epochs, sampleEvery int) ([]LIMDState, error) {
 	}
 	rates := make([]float64, len(cfg.Initial))
 	copy(rates, cfg.Initial)
+	cfg.Progress.SetHorizon(time.Duration(epochs) * LIMDEpoch)
 	var out []LIMDState
 	snapshot := func(e int) {
 		s := LIMDState{Epoch: e, Rates: make([]float64, len(rates))}
 		copy(s.Rates, rates)
 		out = append(out, s)
+		cfg.Progress.Update(time.Duration(e)*LIMDEpoch, uint64(e), len(rates))
 	}
 	snapshot(0)
 	for e := 1; e <= epochs; e++ {
@@ -129,5 +144,6 @@ func RunLIMD(cfg LIMDConfig, epochs, sampleEvery int) ([]LIMDState, error) {
 			snapshot(e)
 		}
 	}
+	cfg.Progress.MarkDone()
 	return out, nil
 }

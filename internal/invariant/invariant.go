@@ -235,6 +235,7 @@ func (c *Checker) Start(sched *sim.Scheduler, horizon time.Duration) {
 	every := c.cfg.Every
 	var tick func()
 	tick = func() {
+		sched.MarkHandler(sim.KindMeasure)
 		now := sched.Now()
 		c.Sweep(now)
 		if now+every <= horizon {

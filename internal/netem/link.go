@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/obs"
 	"repro/internal/packet"
+	"repro/internal/sim"
 )
 
 // LinkStats aggregates per-link counters.
@@ -63,6 +64,11 @@ type Link struct {
 	// packet.DefaultSizeBytes packet — the size every evaluation packet has —
 	// so the hot path skips the float division.
 	svcDefault time.Duration
+	// waitHist records per-packet queueing delay (enqueue to start of
+	// service, simulated seconds). Nil unless observability is attached,
+	// and the enqueue/dequeue path branches on it so the detached hot path
+	// pays one nil check.
+	waitHist *obs.Histogram
 
 	stats LinkStats
 }
@@ -109,6 +115,7 @@ func (l *Link) registerObs(reg *obs.Registry) {
 	reg.GaugeFunc(obs.PrefixQueue+l.name, func() float64 {
 		return float64(l.queue.Len())
 	})
+	l.waitHist = reg.Histogram(obs.PrefixWait+l.name, "s")
 }
 
 // serviceTime is the time the transmitter is occupied by p. The common
@@ -138,6 +145,9 @@ func (l *Link) send(p *packet.Packet) {
 	}
 	l.stats.Enqueued++
 	l.stats.EnqueuedBytes += int64(p.SizeBytes)
+	if l.waitHist != nil {
+		p.EnqueuedAt = now
+	}
 	l.net.trace(TraceEvent{At: now, Kind: EventEnqueue, Where: l.name, Packet: p})
 	l.monitor.Observe(now, l.queue.Len())
 	if !l.busy {
@@ -158,6 +168,9 @@ func (l *Link) startService() {
 	l.busy = true
 	l.inService = p
 	now := l.net.sched.Now()
+	if l.waitHist != nil {
+		l.waitHist.Observe((now - p.EnqueuedAt).Seconds())
+	}
 	l.net.trace(TraceEvent{At: now, Kind: EventDequeue, Where: l.name, Packet: p})
 	l.monitor.Observe(now, l.queue.Len())
 	l.net.sched.Post(l.serviceTime(p), l.onTxDone)
@@ -167,6 +180,7 @@ func (l *Link) startService() {
 // propagating toward the far node (carried by a pooled timer record, not a
 // closure) and the transmitter is immediately free for the next packet.
 func (l *Link) txDone() {
+	l.net.sched.MarkHandler(sim.KindLinkTx)
 	p := l.inService
 	l.inService = nil
 	l.stats.Transmitted++
@@ -192,6 +206,7 @@ type propTimer struct {
 // arrive hands the packet to the far node and recycles the record.
 func (t *propTimer) arrive() {
 	l := t.link
+	l.net.sched.MarkHandler(sim.KindLinkProp)
 	p := t.p
 	t.link, t.p = nil, nil
 	l.net.putPropTimer(t)

@@ -424,6 +424,16 @@ func (n *Network) SendControl(from, to string, fn func()) error {
 	if err != nil {
 		return err
 	}
+	if n.sched.Profiler() != nil {
+		// Attribute the delivery to the control-plane handler kind. The
+		// wrapper allocates, so it exists only when the event-loop profiler
+		// is attached; detached runs schedule fn directly.
+		inner := fn
+		fn = func() {
+			n.sched.MarkHandler(sim.KindControl)
+			inner()
+		}
+	}
 	n.sched.MustAfter(d, fn)
 	return nil
 }

@@ -162,6 +162,35 @@ func (r *Registry) WriteChromeTrace(w io.Writer) error {
 		}
 	}
 
+	// Histograms have no time axis; each renders as one global instant at
+	// t=0 on its own track carrying the summary stats, so the distribution
+	// is visible from the Perfetto args pane without leaving the timeline.
+	for _, h := range r.hists {
+		track := "hist " + h.name
+		out = append(out, chromeEvent{
+			Name: h.name, Ph: "i", Ts: 0,
+			Pid: chromePid, Tid: tid(track), S: "g",
+			Args: map[string]any{
+				"unit": h.unit, "count": h.count,
+				"p50": h.Quantile(0.5), "p90": h.Quantile(0.9), "p99": h.Quantile(0.99),
+				"max": h.Max(),
+			},
+		})
+	}
+
+	// The engine self-profile (when a profiler ran) renders per-kind
+	// instants on a "perf" track: wall-clock cost attribution, not
+	// simulated-time data.
+	for _, p := range r.perf {
+		out = append(out, chromeEvent{
+			Name: p.Kind, Ph: "i", Ts: 0,
+			Pid: chromePid, Tid: tid("perf"), S: "g",
+			Args: map[string]any{
+				"events": p.Events, "wall_s": p.WallSeconds, "sampled": p.Sampled,
+			},
+		})
+	}
+
 	// Metadata first: the process name, then one thread_name per track in
 	// first-seen order.
 	meta := make([]chromeEvent, 0, len(trackOrder)+1)

@@ -14,6 +14,10 @@ import (
 //	<prefix>events.csv     the same events as CSV
 //	<prefix>series.csv     sampled gauge time series, one column per gauge
 //	<prefix>counters.csv   final counter values
+//	<prefix>hist.jsonl     histograms: stats, quantiles and buckets per line
+//	<prefix>hist.csv       histogram summary rows (count/sum/min/max/p50...)
+//	<prefix>perf.csv       engine self-profile (events and wall time per
+//	                       handler kind; empty unless a profiler ran)
 //	<prefix>trace.json     Chrome trace_event timeline (chrome://tracing,
 //	                       Perfetto)
 //
@@ -34,6 +38,9 @@ func (r *Registry) WriteDir(dir, prefix string) ([]string, error) {
 		{"events.csv", r.WriteEventsCSV},
 		{"series.csv", r.WriteSeriesCSV},
 		{"counters.csv", r.WriteCounters},
+		{"hist.jsonl", r.WriteHistogramsJSONL},
+		{"hist.csv", r.WriteHistogramsCSV},
+		{"perf.csv", r.WritePerfCSV},
 		{"trace.json", r.WriteChromeTrace},
 	}
 	paths := make([]string, 0, len(files))

@@ -49,6 +49,17 @@ const (
 	// PrefixPhase is the per-flow adaptation-phase gauges
 	// ("phase/<flow>"; the value is the numeric adapt.Phase).
 	PrefixPhase = "phase/"
+	// PrefixWait is the per-link queueing-delay histograms
+	// ("wait/<link>", simulated seconds from enqueue to start of service).
+	PrefixWait = "wait/"
+	// HistFeedbackRTT is the control-plane feedback delivery-latency
+	// histogram (simulated seconds from a router's feedback decision to the
+	// edge applying it).
+	HistFeedbackRTT = "rtt/feedback"
+	// HistSolve is the fluid engine's per-event water-filling solve-time
+	// histogram (wall-clock seconds — the engine profiling itself, not the
+	// model).
+	HistSolve = "solve/water-fill"
 	// SuffixCongestionEpochs is the per-router congestion-epoch counters
 	// ("core/<node>/congestion-epochs").
 	SuffixCongestionEpochs = "/congestion-epochs"
@@ -143,6 +154,8 @@ type Registry struct {
 	counterIdx map[string]int
 	gauges     []*Gauge
 	gaugeIdx   map[string]int
+	hists      []*Histogram
+	histIdx    map[string]int
 
 	events []ControlEvent
 
@@ -150,6 +163,11 @@ type Registry struct {
 	// at each instant (NaN before the gauge was registered).
 	sampleAt []time.Duration
 	series   [][]float64
+
+	// perf holds the engine self-profile recorded at run end (nil when no
+	// profiler was attached). Unlike every other instrument it measures
+	// wall-clock cost of the engine itself, not simulated behavior.
+	perf []PerfStat
 }
 
 // NewRegistry returns an empty hub.
@@ -157,6 +175,7 @@ func NewRegistry() *Registry {
 	return &Registry{
 		counterIdx: make(map[string]int),
 		gaugeIdx:   make(map[string]int),
+		histIdx:    make(map[string]int),
 	}
 }
 
@@ -214,6 +233,53 @@ func (r *Registry) addGauge(g *Gauge) *Gauge {
 	}
 	r.series = append(r.series, s)
 	return g
+}
+
+// Histogram returns the named histogram, creating it with the given unit
+// label on first use (a later lookup keeps the original unit). Returns nil
+// on a nil receiver.
+func (r *Registry) Histogram(name, unit string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	if r.histIdx == nil {
+		r.histIdx = make(map[string]int)
+	}
+	if i, ok := r.histIdx[name]; ok {
+		return r.hists[i]
+	}
+	h := &Histogram{name: name, unit: unit}
+	r.histIdx[name] = len(r.hists)
+	r.hists = append(r.hists, h)
+	return h
+}
+
+// Histograms returns the registered histograms in registration order.
+func (r *Registry) Histograms() []*Histogram {
+	if r == nil {
+		return nil
+	}
+	out := make([]*Histogram, len(r.hists))
+	copy(out, r.hists)
+	return out
+}
+
+// RecordPerf stores the engine self-profile (per-handler-kind event counts
+// and wall-time estimates) captured by the event-loop profiler at run end.
+// No-op on a nil receiver.
+func (r *Registry) RecordPerf(stats []PerfStat) {
+	if r == nil {
+		return
+	}
+	r.perf = stats
+}
+
+// Perf returns the recorded engine self-profile (nil when no profiler ran).
+func (r *Registry) Perf() []PerfStat {
+	if r == nil {
+		return nil
+	}
+	return r.perf
 }
 
 // Counters returns the registered counters in registration order.
@@ -279,6 +345,7 @@ func (r *Registry) StartSampler(sched *sim.Scheduler, every, horizon time.Durati
 	}
 	var tick func()
 	tick = func() {
+		sched.MarkHandler(sim.KindMeasure)
 		now := sched.Now()
 		r.Sample(now)
 		if now+every <= horizon {

@@ -150,6 +150,14 @@ func testRegistry() *Registry {
 	r.Gauge("alpha/K1->S").Set(72.5)
 	q.Set(6)
 	r.Sample(300 * time.Millisecond)
+	h := r.Histogram("wait/C1->S", "s")
+	h.Observe(0.001)
+	h.Observe(0.004)
+	h.Observe(0.016)
+	r.RecordPerf([]PerfStat{
+		{Kind: "link-tx", Events: 1200, WallSeconds: 0.25, Sampled: 20},
+		{Kind: "control", Events: 40, WallSeconds: 0.01, Sampled: 1},
+	})
 	return r
 }
 

@@ -1,0 +1,99 @@
+package obs
+
+import (
+	"math"
+	"sync/atomic"
+	"time"
+)
+
+// Progress is a lock-free liveness tracker for one running simulation. The
+// engine (single-threaded) writes a snapshot of where it is — simulated
+// time, processed events, active flows, accumulated flow-seconds — from
+// existing event handlers, and a wall-clock ticker goroutine (the CLI's or
+// run.Pool's progress reporter) reads it concurrently. All fields are
+// atomics, so the tracker is safe under the race detector, and the engine
+// pays a handful of atomic stores per measurement window — never per event.
+//
+// Unlike Registry (deliberately single-threaded), Progress exists exactly to
+// cross the engine/reporter goroutine boundary. A nil *Progress is inert:
+// every method is a nil-receiver no-op.
+type Progress struct {
+	simNanos     atomic.Int64
+	horizonNanos atomic.Int64
+	events       atomic.Uint64
+	activeFlows  atomic.Int64
+	flowSecBits  atomic.Uint64 // float64 bits; single writer
+	done         atomic.Bool
+}
+
+// ProgressSnapshot is one coherent-enough read of a Progress tracker (fields
+// are read individually; the reporter tolerates a tick of skew).
+type ProgressSnapshot struct {
+	// Sim is the engine's current simulated time, Horizon the target.
+	Sim, Horizon time.Duration
+	// Events counts processed engine events so far.
+	Events uint64
+	// ActiveFlows is the number of currently active flows.
+	ActiveFlows int64
+	// FlowSec is the accumulated simulated flow-seconds (∫ active dt) — the
+	// fluid backend's work metric.
+	FlowSec float64
+	// Done reports whether the run finished.
+	Done bool
+}
+
+// SetHorizon records the simulated-time target (for ETA computation).
+func (p *Progress) SetHorizon(d time.Duration) {
+	if p == nil {
+		return
+	}
+	p.horizonNanos.Store(int64(d))
+}
+
+// Update publishes the engine's position: simulated time now, total
+// processed events, and currently active flows.
+func (p *Progress) Update(now time.Duration, events uint64, activeFlows int) {
+	if p == nil {
+		return
+	}
+	p.simNanos.Store(int64(now))
+	p.events.Store(events)
+	p.activeFlows.Store(int64(activeFlows))
+}
+
+// AddFlowSec accumulates simulated flow-seconds. Single-writer: only the
+// engine goroutine may call it.
+func (p *Progress) AddFlowSec(fs float64) {
+	if p == nil || fs <= 0 {
+		return
+	}
+	cur := math.Float64frombits(p.flowSecBits.Load())
+	p.flowSecBits.Store(math.Float64bits(cur + fs))
+}
+
+// MarkDone flags the run as finished (and snaps Sim to Horizon so progress
+// reads 100%).
+func (p *Progress) MarkDone() {
+	if p == nil {
+		return
+	}
+	if h := p.horizonNanos.Load(); h > 0 {
+		p.simNanos.Store(h)
+	}
+	p.done.Store(true)
+}
+
+// Snapshot reads the tracker.
+func (p *Progress) Snapshot() ProgressSnapshot {
+	if p == nil {
+		return ProgressSnapshot{}
+	}
+	return ProgressSnapshot{
+		Sim:         time.Duration(p.simNanos.Load()),
+		Horizon:     time.Duration(p.horizonNanos.Load()),
+		Events:      p.events.Load(),
+		ActiveFlows: p.activeFlows.Load(),
+		FlowSec:     math.Float64frombits(p.flowSecBits.Load()),
+		Done:        p.done.Load(),
+	}
+}

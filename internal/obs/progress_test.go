@@ -1,0 +1,98 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestProgressLifecycle(t *testing.T) {
+	var p Progress
+	p.SetHorizon(80 * time.Second)
+	p.Update(20*time.Second, 12345, 7)
+	p.AddFlowSec(140)
+	p.AddFlowSec(60)
+
+	s := p.Snapshot()
+	if s.Sim != 20*time.Second || s.Horizon != 80*time.Second {
+		t.Errorf("Sim/Horizon = %v/%v", s.Sim, s.Horizon)
+	}
+	if s.Events != 12345 || s.ActiveFlows != 7 {
+		t.Errorf("Events/ActiveFlows = %d/%d", s.Events, s.ActiveFlows)
+	}
+	if s.FlowSec != 200 {
+		t.Errorf("FlowSec = %g, want 200", s.FlowSec)
+	}
+	if s.Done {
+		t.Error("Done before MarkDone")
+	}
+
+	// Non-positive increments are ignored — engines send deltas and a
+	// zero-length window must not perturb anything.
+	p.AddFlowSec(0)
+	p.AddFlowSec(-5)
+	if got := p.Snapshot().FlowSec; got != 200 {
+		t.Errorf("FlowSec after no-op adds = %g, want 200", got)
+	}
+
+	p.MarkDone()
+	s = p.Snapshot()
+	if !s.Done {
+		t.Error("not Done after MarkDone")
+	}
+	// MarkDone snaps Sim to Horizon so a final progress line reads 100% —
+	// engines update at measurement boundaries and may finish between them.
+	if s.Sim != s.Horizon {
+		t.Errorf("Sim %v != Horizon %v after MarkDone", s.Sim, s.Horizon)
+	}
+}
+
+func TestProgressNil(t *testing.T) {
+	var p *Progress
+	p.SetHorizon(time.Second)
+	p.Update(time.Second, 1, 1)
+	p.AddFlowSec(1)
+	p.MarkDone()
+	if s := p.Snapshot(); s != (ProgressSnapshot{}) {
+		t.Errorf("nil Snapshot = %+v, want zero", s)
+	}
+}
+
+// TestProgressConcurrentReads exercises the engine-writer/reporter-reader
+// pattern under the race detector: one goroutine streams updates while
+// several snapshot concurrently.
+func TestProgressConcurrentReads(t *testing.T) {
+	var p Progress
+	p.SetHorizon(time.Second)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					s := p.Snapshot()
+					if s.Sim > s.Horizon {
+						t.Error("Sim beyond Horizon")
+						return
+					}
+				}
+			}
+		}()
+	}
+	for i := 0; i <= 1000; i++ {
+		p.Update(time.Duration(i)*time.Millisecond, uint64(i), i%10)
+		p.AddFlowSec(0.001)
+	}
+	p.MarkDone()
+	close(stop)
+	wg.Wait()
+	s := p.Snapshot()
+	if !s.Done || s.Events != 1000 {
+		t.Errorf("final snapshot = %+v", s)
+	}
+}

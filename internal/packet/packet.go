@@ -79,6 +79,11 @@ type Packet struct {
 	Seq int64
 	// SentAt is the virtual time the ingress edge emitted the packet.
 	SentAt time.Duration
+	// EnqueuedAt is the virtual time the packet entered its current link's
+	// output queue. It is stamped only when the link's queue-wait histogram
+	// is attached (observability on) and is otherwise stale; nothing but
+	// that instrument reads it.
+	EnqueuedAt time.Duration
 
 	// Marker, when non-nil, is the piggybacked Corelite marker.
 	Marker *Marker

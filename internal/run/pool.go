@@ -126,15 +126,25 @@ type Config struct {
 	// flag retargets a whole batch without rebuilding its specs. A job
 	// that explicitly selects a backend keeps it.
 	Backend experiments.Backend
+	// OnProgress, when non-nil (and ProgressEvery > 0), receives fleet-wide
+	// live progress aggregated over every job on a wall-clock ticker, plus
+	// one final update when the batch drains. Calls arrive from a dedicated
+	// reporter goroutine, never concurrently with each other.
+	OnProgress func(ProgressUpdate)
+	// ProgressEvery is the wall-clock ticker interval for OnProgress
+	// (<= 0 disables progress reporting).
+	ProgressEvery time.Duration
 }
 
 // Pool executes job batches on a bounded set of worker goroutines.
 type Pool struct {
-	workers   int
-	onDone    func(Result)
-	observe   bool
-	obsSample time.Duration
-	backend   experiments.Backend
+	workers       int
+	onDone        func(Result)
+	observe       bool
+	obsSample     time.Duration
+	backend       experiments.Backend
+	onProgress    func(ProgressUpdate)
+	progressEvery time.Duration
 }
 
 // New returns a pool with the configured worker bound.
@@ -144,7 +154,8 @@ func New(cfg Config) *Pool {
 		w = runtime.GOMAXPROCS(0)
 	}
 	return &Pool{workers: w, onDone: cfg.OnDone, observe: cfg.Observe,
-		obsSample: cfg.ObsSample, backend: cfg.Backend}
+		obsSample: cfg.ObsSample, backend: cfg.Backend,
+		onProgress: cfg.OnProgress, progressEvery: cfg.ProgressEvery}
 }
 
 // Workers reports the pool's worker bound.
@@ -166,6 +177,23 @@ func (p *Pool) Execute(ctx context.Context, jobs []Job) ([]Result, error) {
 	}
 	if err := ctx.Err(); err != nil {
 		return results, err
+	}
+
+	// Live progress: one atomic tracker per job, aggregated by a wall-clock
+	// reporter goroutine. Jobs that carry their own tracker keep it (and the
+	// reporter reads that one).
+	var trackers []*obs.Progress
+	if p.onProgress != nil && p.progressEvery > 0 {
+		trackers = make([]*obs.Progress, len(jobs))
+		for i := range jobs {
+			if tr := jobs[i].Scenario.Progress; tr != nil {
+				trackers[i] = tr
+			} else {
+				trackers[i] = &obs.Progress{}
+			}
+		}
+		stop := p.startProgress(jobs, trackers)
+		defer stop()
 	}
 
 	workers := p.workers
@@ -191,7 +219,11 @@ func (p *Pool) Execute(ctx context.Context, jobs []Job) ([]Result, error) {
 		go func() {
 			defer wg.Done()
 			for i := range feed {
-				res := p.execute(i, jobs[i])
+				var tr *obs.Progress
+				if trackers != nil {
+					tr = trackers[i]
+				}
+				res := p.execute(i, jobs[i], tr)
 				results[i] = res
 				if p.onDone != nil {
 					doneMu.Lock()
@@ -217,8 +249,10 @@ func (p *Pool) Execute(ctx context.Context, jobs []Job) ([]Result, error) {
 }
 
 // execute runs one job, converting a panicking scenario into a failed
-// result instead of a dead process.
-func (p *Pool) execute(index int, job Job) (res Result) {
+// result instead of a dead process. tracker, when non-nil, is the progress
+// reporter's per-job tracker; it is handed to the engine and always marked
+// done on the way out so failed jobs don't stall the batch ETA.
+func (p *Pool) execute(index int, job Job, tracker *obs.Progress) (res Result) {
 	res = Result{Index: index, Job: job}
 	sc := job.Scenario
 	if sc.Backend == experiments.BackendPacket {
@@ -228,6 +262,9 @@ func (p *Pool) execute(index int, job Job) (res Result) {
 		sc.Obs = obs.NewRegistry()
 		sc.ObsSample = p.obsSample
 	}
+	if sc.Progress == nil {
+		sc.Progress = tracker
+	}
 	res.Obs = sc.Obs
 	start := time.Now()
 	defer func() {
@@ -235,6 +272,7 @@ func (p *Pool) execute(index int, job Job) (res Result) {
 			res.Output = nil
 			res.Err = fmt.Errorf("job %d (%q) panicked: %v\n%s", index, job.Name, r, debug.Stack())
 		}
+		tracker.MarkDone()
 		res.Stats.Wall = time.Since(start)
 		if res.Output != nil {
 			res.Stats.Events = res.Output.Events

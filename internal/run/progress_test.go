@@ -1,0 +1,117 @@
+package run
+
+import (
+	"context"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+// TestPoolProgressReporting runs a small batch with a fast-ticking progress
+// reporter and checks the aggregated updates: the callback fires from the
+// reporter goroutine while worker goroutines write the trackers, so this
+// test doubles as the race-detector exercise for the whole progress path
+// (the Makefile race target covers this package).
+func TestPoolProgressReporting(t *testing.T) {
+	scs := []experiments.Scenario{
+		experiments.Fig5Scenario(1),
+		experiments.Fig6Scenario(2),
+	}
+	for i := range scs {
+		scs[i].Duration = 10 * time.Second
+	}
+
+	var mu sync.Mutex
+	var updates []ProgressUpdate
+	pool := New(Config{
+		Workers:       2,
+		ProgressEvery: time.Millisecond,
+		OnProgress: func(u ProgressUpdate) {
+			mu.Lock()
+			updates = append(updates, u)
+			mu.Unlock()
+		},
+	})
+	results, err := pool.Execute(context.Background(), FromScenarios(scs...))
+	if err != nil {
+		t.Fatalf("Execute: %v", err)
+	}
+	for _, r := range results {
+		if r.Err != nil {
+			t.Fatalf("job %s: %v", r.Job.Name, r.Err)
+		}
+	}
+
+	mu.Lock()
+	defer mu.Unlock()
+	if len(updates) == 0 {
+		t.Fatal("no progress updates delivered")
+	}
+	// stop() emits one final update after both jobs finished.
+	last := updates[len(updates)-1]
+	if last.Done != 2 || last.Total != 2 || last.Running != 0 {
+		t.Errorf("final update = %+v, want 2/2 done", last)
+	}
+	if last.SimTarget != 20 {
+		t.Errorf("SimTarget = %v, want 20 (2 jobs × 10s)", last.SimTarget)
+	}
+	// MarkDone snaps every tracker to its horizon, so the final line reads
+	// the full batch.
+	if last.SimSeconds != 20 {
+		t.Errorf("final SimSeconds = %v, want 20", last.SimSeconds)
+	}
+	var total uint64
+	for _, r := range results {
+		total += r.Stats.Events
+	}
+	if last.Events != total {
+		t.Errorf("final Events = %d, want the %d the jobs processed", last.Events, total)
+	}
+	for _, u := range updates {
+		if u.Done < 0 || u.Done > u.Total || u.Running < 0 || u.Running > u.Total {
+			t.Errorf("inconsistent update: %+v", u)
+		}
+	}
+}
+
+// TestPoolProgressDisabled checks the zero-config path: no callback, no
+// reporter, identical results.
+func TestPoolProgressDisabled(t *testing.T) {
+	sc := experiments.Fig5Scenario(1)
+	sc.Duration = 5 * time.Second
+	results, err := New(Config{Workers: 1}).Execute(context.Background(), FromScenarios(sc))
+	if err != nil || results[0].Err != nil {
+		t.Fatalf("Execute: %v / %v", err, results[0].Err)
+	}
+}
+
+// TestProgressUpdateString pins the human-readable line for the packet and
+// fluid shapes.
+func TestProgressUpdateString(t *testing.T) {
+	packet := ProgressUpdate{
+		Done: 2, Running: 4, Total: 8,
+		SimSeconds: 310, SimTarget: 800,
+		EventsPerSec: 2.31e6, ActiveFlows: 412,
+		Elapsed: 25 * time.Second, ETA: 48 * time.Second,
+	}
+	got := packet.String()
+	for _, want := range []string{
+		"progress 2/8 done, 4 running", "sim 310.0s (38.8%)", "at 12.4x",
+		"2.31 Mevents/s", "412 flows", "ETA 48s",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("packet line %q lacks %q", got, want)
+		}
+	}
+
+	fluid := ProgressUpdate{
+		Done: 1, Total: 1, SimSeconds: 10, SimTarget: 10,
+		FlowSec: 100, FlowSecPerSec: 50000, Elapsed: time.Second,
+	}
+	if got := fluid.String(); !strings.Contains(got, "flow·s/s") {
+		t.Errorf("fluid line %q lacks flow·s/s rate", got)
+	}
+}

@@ -84,6 +84,7 @@ type Scheduler struct {
 	free    []*Event // recycled handle-free events
 	halted  bool
 	stepped uint64
+	prof    *LoopProfiler // nil unless the event-loop profiler is attached
 }
 
 // NewScheduler returns an empty scheduler with the clock at zero.
@@ -197,6 +198,12 @@ func (s *Scheduler) Step() bool {
 		e.fn = nil
 		if e.pooled {
 			s.free = append(s.free, e)
+		}
+		if p := s.prof; p != nil {
+			p.begin()
+			fn()
+			p.end()
+			return true
 		}
 		fn()
 		return true

@@ -160,6 +160,7 @@ func (o *OnOff) enterOff() {
 }
 
 func (o *OnOff) emit() {
+	o.sched.MarkHandler(sim.KindSource)
 	if !o.active || !o.on || o.rate <= 0 {
 		return
 	}

@@ -149,6 +149,7 @@ func (s *Shaper) schedule() {
 }
 
 func (s *Shaper) release() {
+	s.sched.MarkHandler(sim.KindSource)
 	s.pending = nil
 	if !s.active || s.rate <= 0 || len(s.queue) == 0 {
 		return

@@ -128,6 +128,7 @@ func (s *Source) cancelPending() {
 }
 
 func (s *Source) emit() {
+	s.sched.MarkHandler(sim.KindSource)
 	s.pending = nil
 	if !s.active || s.rate <= 0 {
 		return
