@@ -63,6 +63,8 @@ func run(args []string, stdout io.Writer) error {
 	var (
 		scheme   = fs.String("scheme", "corelite", "scheme: corelite or csfq")
 		backend  = fs.String("backend", "packet", "execution engine: packet (discrete-event reference) or flow (fluid rates, orders of magnitude faster)")
+		equeue   = fs.String("equeue", "", "event queue: heap (default), calendar, or auto (calendar for high event-density runs); packet backend only")
+		unfused  = fs.Bool("unfused-links", false, "use the two-event reference link pipeline instead of the fused chain (byte-identical output; for profiling and differential runs)")
 		flows    = fs.Int("flows", 10, "number of flows (1-20 on the paper topology)")
 		duration = fs.Duration("duration", 80*time.Second, "simulated duration")
 		seed     = fs.Int64("seed", 1, "random seed")
@@ -120,6 +122,8 @@ func run(args []string, stdout io.Writer) error {
 		return err
 	}
 	sc.Backend = be
+	sc.EventQueue = *equeue
+	sc.UnfusedLinks = *unfused
 	if *chainCores > 0 {
 		nf := *chainFlows
 		if nf <= 0 {

@@ -42,6 +42,7 @@ func mainRun(args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("sweep", flag.ContinueOnError)
 	param := fs.String("param", "epoch", "parameter to sweep: epoch, qthresh, latency, k1")
 	backend := fs.String("backend", "packet", "execution engine: packet (reference) or flow (fluid; note qthresh/latency/k1 are packet-level knobs the fluid model abstracts away)")
+	equeue := fs.String("equeue", "", "event queue for packet-backend runs: heap (default), calendar, or auto")
 	seed := fs.Int64("seed", 1, "random seed")
 	duration := fs.Duration("duration", 80*time.Second, "simulated duration per point")
 	parallel := fs.Int("parallel", runtime.GOMAXPROCS(0), "concurrent sweep points (1 = serial)")
@@ -77,6 +78,9 @@ func mainRun(args []string, stdout, stderr io.Writer) error {
 	base := experiments.Fig5Scenario(*seed)
 	base.Duration = *duration
 	scs := experiments.SweepScenarios(base, points)
+	for i := range scs {
+		scs[i].EventQueue = *equeue
+	}
 	if *check {
 		for i := range scs {
 			scs[i].Check = invariant.New(invariant.Config{FairnessTol: *checkTol})

@@ -1,0 +1,48 @@
+package experiments
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/sim"
+)
+
+func TestEventQueueValidation(t *testing.T) {
+	sc := Scenario{Scheme: SchemeCorelite, Duration: time.Second, NumFlows: 4}
+	for _, good := range []string{"", "heap", "calendar", "cal", "auto", "AUTO", " calendar "} {
+		sc.EventQueue = good
+		if err := sc.Validate(); err != nil {
+			t.Errorf("Validate with EventQueue %q: %v", good, err)
+		}
+	}
+	sc.EventQueue = "fibonacci"
+	if err := sc.Validate(); err == nil {
+		t.Error("Validate accepted EventQueue \"fibonacci\"")
+	}
+}
+
+func TestEventQueueAutoPolicy(t *testing.T) {
+	cases := []struct {
+		spec  string
+		flows int
+		want  sim.QueueKind
+	}{
+		{"", 4, sim.QueueHeap},
+		{"heap", 20, sim.QueueHeap},
+		{"calendar", 2, sim.QueueCalendar},
+		{"auto", autoCalendarFlows - 1, sim.QueueHeap},
+		{"auto", autoCalendarFlows, sim.QueueCalendar},
+		{"auto", 20, sim.QueueCalendar},
+	}
+	for _, tc := range cases {
+		sc := Scenario{EventQueue: tc.spec, NumFlows: tc.flows}
+		got, err := sc.queueKind()
+		if err != nil {
+			t.Errorf("queueKind(%q, %d flows): %v", tc.spec, tc.flows, err)
+			continue
+		}
+		if got != tc.want {
+			t.Errorf("queueKind(%q, %d flows) = %v, want %v", tc.spec, tc.flows, got, tc.want)
+		}
+	}
+}

@@ -158,53 +158,74 @@ type event struct {
 	flow int32 // arrival/departure target
 }
 
-// eventHeap is a binary min-heap over (at, prio, seq).
-type eventHeap []event
-
-func (h eventHeap) less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+// eventLess orders events by (at, prio, seq).
+func eventLess(a, b event) bool {
+	if a.at != b.at {
+		return a.at < b.at
 	}
-	if h[i].prio != h[j].prio {
-		return h[i].prio < h[j].prio
+	if a.prio != b.prio {
+		return a.prio < b.prio
 	}
-	return h[i].seq < h[j].seq
+	return a.seq < b.seq
 }
+
+// eventHeapArity is the heap fan-out. As in the packet scheduler's queue, a
+// 4-ary layout halves the tree depth of the binary heap and keeps each
+// node's children in adjacent (usually same-cache-line) slots.
+const eventHeapArity = 4
+
+// eventHeap is a 4-ary min-heap over (at, prio, seq). Both operations use
+// the hole technique: the moving entry is held aside and written once at its
+// final slot instead of swapped down level by level.
+type eventHeap []event
 
 func (h *eventHeap) push(e event) {
 	*h = append(*h, e)
-	i := len(*h) - 1
+	es := *h
+	i := len(es) - 1
 	for i > 0 {
-		parent := (i - 1) / 2
-		if !h.less(i, parent) {
+		parent := (i - 1) / eventHeapArity
+		if !eventLess(e, es[parent]) {
 			break
 		}
-		(*h)[i], (*h)[parent] = (*h)[parent], (*h)[i]
+		es[i] = es[parent]
 		i = parent
 	}
+	es[i] = e
 }
 
 func (h *eventHeap) pop() event {
-	old := *h
-	top := old[0]
-	n := len(old) - 1
-	old[0] = old[n]
-	*h = old[:n]
+	es := *h
+	top := es[0]
+	n := len(es) - 1
+	e := es[n]
+	es[n] = event{}
+	*h = es[:n]
+	es = es[:n]
 	i := 0
 	for {
-		l, r := 2*i+1, 2*i+2
-		small := i
-		if l < n && (*h).less(l, small) {
-			small = l
-		}
-		if r < n && (*h).less(r, small) {
-			small = r
-		}
-		if small == i {
+		first := eventHeapArity*i + 1
+		if first >= n {
 			break
 		}
-		(*h)[i], (*h)[small] = (*h)[small], (*h)[i]
+		end := first + eventHeapArity
+		if end > n {
+			end = n
+		}
+		small := first
+		for c := first + 1; c < end; c++ {
+			if eventLess(es[c], es[small]) {
+				small = c
+			}
+		}
+		if !eventLess(es[small], e) {
+			break
+		}
+		es[i] = es[small]
 		i = small
+	}
+	if n > 0 {
+		es[i] = e
 	}
 	return top
 }

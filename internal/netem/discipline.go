@@ -25,12 +25,46 @@ type Discipline interface {
 	Len() int
 }
 
+// pktRing is a fixed-capacity FIFO over a power-of-two circular buffer: the
+// building block of the bounded disciplines. A sliding []*packet.Packet
+// window would reallocate its backing array every capacity-th packet under
+// steady backlog; the ring never allocates after construction.
+type pktRing struct {
+	buf  []*packet.Packet
+	head int
+	n    int
+}
+
+func newPktRing(capacity int) pktRing {
+	size := 1
+	for size < capacity {
+		size <<= 1
+	}
+	return pktRing{buf: make([]*packet.Packet, size)}
+}
+
+func (r *pktRing) push(p *packet.Packet) {
+	r.buf[(r.head+r.n)&(len(r.buf)-1)] = p
+	r.n++
+}
+
+func (r *pktRing) pop() *packet.Packet {
+	if r.n == 0 {
+		return nil
+	}
+	p := r.buf[r.head]
+	r.buf[r.head] = nil
+	r.head = (r.head + 1) & (len(r.buf) - 1)
+	r.n--
+	return p
+}
+
 // DropTail is a bounded FIFO queue that drops arrivals when full — the
 // discipline used at every router in the paper's evaluation (queue size 40
 // packets).
 type DropTail struct {
 	capacity int
-	queue    []*packet.Packet
+	ring     pktRing
 }
 
 var _ Discipline = (*DropTail)(nil)
@@ -41,7 +75,7 @@ func NewDropTail(capacity int) *DropTail {
 	if capacity <= 0 {
 		capacity = 1
 	}
-	return &DropTail{capacity: capacity, queue: make([]*packet.Packet, 0, capacity)}
+	return &DropTail{capacity: capacity, ring: newPktRing(capacity)}
 }
 
 // Capacity reports the maximum number of waiting packets.
@@ -49,30 +83,18 @@ func (d *DropTail) Capacity() int { return d.capacity }
 
 // Enqueue implements Discipline.
 func (d *DropTail) Enqueue(p *packet.Packet) bool {
-	if len(d.queue) >= d.capacity {
+	if d.ring.n >= d.capacity {
 		return false
 	}
-	d.queue = append(d.queue, p)
+	d.ring.push(p)
 	return true
 }
 
 // Dequeue implements Discipline.
-func (d *DropTail) Dequeue() *packet.Packet {
-	if len(d.queue) == 0 {
-		return nil
-	}
-	p := d.queue[0]
-	d.queue[0] = nil
-	d.queue = d.queue[1:]
-	if len(d.queue) == 0 {
-		// Reset backing array so the slice does not grow without bound.
-		d.queue = d.queue[:0:cap(d.queue)]
-	}
-	return p
-}
+func (d *DropTail) Dequeue() *packet.Packet { return d.ring.pop() }
 
 // Len implements Discipline.
-func (d *DropTail) Len() int { return len(d.queue) }
+func (d *DropTail) Len() int { return d.ring.n }
 
 // REDConfig parameterizes a RED queue (Floyd & Jacobson 1993). RED is
 // provided as an alternative AQM for the ablation that shows Corelite's
@@ -119,7 +141,7 @@ type RED struct {
 	cfg       REDConfig
 	now       func() time.Duration
 	rng       *sim.RNG
-	queue     []*packet.Packet
+	ring      pktRing
 	avg       float64
 	count     int // packets since last early drop
 	idleSince time.Duration
@@ -137,7 +159,7 @@ func NewRED(cfg REDConfig, now func() time.Duration, rng *sim.RNG) *RED {
 	if cfg.Capacity <= 0 {
 		cfg.Capacity = 1
 	}
-	return &RED{cfg: cfg, now: now, rng: rng, idle: true}
+	return &RED{cfg: cfg, now: now, rng: rng, idle: true, ring: newPktRing(cfg.Capacity)}
 }
 
 // Avg reports the current EWMA average queue length estimate.
@@ -166,24 +188,18 @@ func (r *RED) Enqueue(p *packet.Packet) bool {
 	default:
 		r.count = -1
 	}
-	if len(r.queue) >= r.cfg.Capacity {
+	if r.ring.n >= r.cfg.Capacity {
 		return false
 	}
-	r.queue = append(r.queue, p)
+	r.ring.push(p)
 	r.idle = false
 	return true
 }
 
 // Dequeue implements Discipline.
 func (r *RED) Dequeue() *packet.Packet {
-	if len(r.queue) == 0 {
-		return nil
-	}
-	p := r.queue[0]
-	r.queue[0] = nil
-	r.queue = r.queue[1:]
-	if len(r.queue) == 0 {
-		r.queue = r.queue[:0:cap(r.queue)]
+	p := r.ring.pop()
+	if p != nil && r.ring.n == 0 {
 		r.idle = true
 		r.idleSince = r.now()
 	}
@@ -191,7 +207,7 @@ func (r *RED) Dequeue() *packet.Packet {
 }
 
 // Len implements Discipline.
-func (r *RED) Len() int { return len(r.queue) }
+func (r *RED) Len() int { return r.ring.n }
 
 func (r *RED) updateAvg() {
 	if r.idle && r.cfg.MeanServiceTime > 0 {
@@ -203,5 +219,5 @@ func (r *RED) updateAvg() {
 		}
 		r.idle = false
 	}
-	r.avg = (1-r.cfg.Weight)*r.avg + r.cfg.Weight*float64(len(r.queue))
+	r.avg = (1-r.cfg.Weight)*r.avg + r.cfg.Weight*float64(r.ring.n)
 }

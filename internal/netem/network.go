@@ -96,9 +96,24 @@ type Network struct {
 	// sources draw from it and the network releases at the sink and on
 	// every drop. See packet.Pool for the ownership rules.
 	pool *packet.Pool
-	// propFree recycles the pooled propagation-timer records of the link
-	// pipeline (see propTimer).
-	propFree []*propTimer
+	// Unfused-pipeline propagation-timer pool: records live in an
+	// index-addressed slice so the scheduler entry for an in-flight packet
+	// is just (handler id, record index) — nothing the garbage collector
+	// has to chase.
+	propTimers []propTimer
+	propFree   []uint32
+	propHid    sim.HandlerID
+	// txHid fires (unfused) service completions with the link index as arg;
+	// chainTxHid / chainArrHid are the fused pipeline's transmission and
+	// ring-arrival handlers, likewise link-indexed.
+	txHid       sim.HandlerID
+	chainTxHid  sim.HandlerID
+	chainArrHid sim.HandlerID
+	// fused selects the chained link pipeline (the default): per link, one
+	// self-re-arming tx event plus one arrival event for the whole
+	// propagation ring. The two-event-per-packet pipeline remains as the
+	// reference; both emit the identical event stream (see SetLinkFusion).
+	fused bool
 
 	obs *obs.Registry
 	// dropCtr is indexed by DropReason; nil entries make counting a no-op,
@@ -108,13 +123,33 @@ type Network struct {
 
 // New returns an empty network driven by sched.
 func New(sched *sim.Scheduler) *Network {
-	return &Network{
+	n := &Network{
 		sched:     sched,
 		nodes:     make(map[string]*Node),
 		pathDelay: make(map[[2]string]time.Duration),
 		pool:      packet.NewPool(),
+		fused:     true,
 	}
+	n.chainTxHid = sched.RegisterHandler(n.fireChainTx)
+	n.chainArrHid = sched.RegisterHandler(n.fireChainArr)
+	n.propHid = sched.RegisterHandler(n.fireProp)
+	n.txHid = sched.RegisterHandler(n.fireTx)
+	return n
 }
+
+// SetLinkFusion selects between the fused link pipeline (per link, one
+// self-re-arming transmission event plus a single arrival event standing for
+// the whole propagation ring — the default) and the reference two-event
+// pipeline (separate service-completion and propagation events per packet).
+// Both consume scheduler sequence numbers at identical points, so the
+// simulated event order — and therefore every figure CSV — is byte-identical
+// either way; the reference path exists for differential testing and
+// ablation. Call it before traffic starts: packets already in service
+// complete on the pipeline that launched them.
+func (n *Network) SetLinkFusion(on bool) { n.fused = on }
+
+// LinkFusion reports whether the fused link pipeline is active.
+func (n *Network) LinkFusion() bool { return n.fused }
 
 // Scheduler exposes the simulation scheduler driving this network.
 func (n *Network) Scheduler() *sim.Scheduler { return n.sched }
@@ -125,22 +160,19 @@ func (n *Network) Scheduler() *sim.Scheduler { return n.sched }
 // are simply left to the garbage collector on release.
 func (n *Network) PacketPool() *packet.Pool { return n.pool }
 
-// getPropTimer pops a propagation-timer record, binding its callback once on
-// first allocation.
-func (n *Network) getPropTimer() *propTimer {
+// getPropTimer claims a propagation-timer record, returning its index.
+func (n *Network) getPropTimer() uint32 {
 	if k := len(n.propFree); k > 0 {
-		t := n.propFree[k-1]
-		n.propFree[k-1] = nil
+		i := n.propFree[k-1]
 		n.propFree = n.propFree[:k-1]
-		return t
+		return i
 	}
-	t := &propTimer{}
-	t.fire = t.arrive
-	return t
+	n.propTimers = append(n.propTimers, propTimer{})
+	return uint32(len(n.propTimers) - 1)
 }
 
 // putPropTimer returns a drained record to the free list.
-func (n *Network) putPropTimer(t *propTimer) { n.propFree = append(n.propFree, t) }
+func (n *Network) putPropTimer(i uint32) { n.propFree = append(n.propFree, i) }
 
 // Now reports the current virtual time.
 func (n *Network) Now() time.Duration { return n.sched.Now() }
@@ -158,6 +190,7 @@ func (n *Network) AddNode(name string) (*Node, error) {
 	}
 	n.nodes[name] = node
 	n.order = append(n.order, name)
+	node.id = uint32(len(n.order)) // 1-based: 0 marks an unresolved DstID
 	return node, nil
 }
 
@@ -225,7 +258,7 @@ func (n *Network) AddLink(from, to string, cfg LinkConfig) (*Link, error) {
 		monitor: NewQueueMonitor(n.sched.Now()),
 		net:     n,
 	}
-	l.onTxDone = l.txDone
+	l.id = uint32(len(n.links))
 	l.svcDefault = l.serviceTimeFor(packet.DefaultSizeBytes)
 	src.links[to] = l
 	n.links = append(n.links, l)
@@ -312,6 +345,12 @@ func (n *Network) ComputeRoutes() error {
 		}
 		node := n.nodes[src]
 		node.nextHop = firstHop
+		node.outByID = make([]*Link, len(n.order)+1)
+		for dst, hop := range firstHop {
+			if l := node.links[hop]; l != nil {
+				node.outByID[n.nodes[dst].id] = l
+			}
+		}
 		for dst, d := range dist {
 			n.pathDelay[[2]string{src, dst}] = d
 		}

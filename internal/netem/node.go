@@ -25,10 +25,15 @@ type Forwarder interface {
 
 // Node is a router or host in the simulated cloud.
 type Node struct {
-	name      string
+	name string
+	// id is the node's dense 1-based index (creation order); packets cache
+	// it in DstID so per-hop routing is a slice load instead of a string-map
+	// lookup. Zero is reserved for "unresolved".
+	id        uint32
 	net       *Network
 	links     map[string]*Link // next-hop node name -> link
 	nextHop   map[string]string
+	outByID   []*Link // destination node id -> output link, from ComputeRoutes
 	app       App
 	forwarder Forwarder
 }
@@ -60,6 +65,10 @@ func (n *Node) Links() []*Link {
 // Inject hands a packet to the node as if it had been generated locally
 // (used by edge routers to launch shaped traffic into the cloud).
 func (n *Node) Inject(p *packet.Packet) {
+	// A packet may arrive from another cloud (multi-network concatenation)
+	// carrying that network's routing handle; resolution is per-network, so
+	// it restarts here.
+	p.DstID = 0
 	n.net.stats.Injected++
 	n.net.stats.InjectedBytes += int64(p.SizeBytes)
 	if p.Marker != nil {
@@ -70,7 +79,14 @@ func (n *Node) Inject(p *packet.Packet) {
 
 // deliver processes a packet arriving at (or originating from) the node.
 func (n *Node) deliver(p *packet.Packet) {
-	if p.Dst == n.name {
+	if p.DstID == 0 {
+		// First hop: resolve the destination name to its dense node id
+		// once; every later hop (and the sink test below) is integer work.
+		if dn, ok := n.net.nodes[p.Dst]; ok {
+			p.DstID = dn.id
+		}
+	}
+	if p.DstID == n.id {
 		n.net.stats.Delivered++
 		n.net.stats.DeliveredBytes += int64(p.SizeBytes)
 		if p.Marker != nil {
@@ -86,12 +102,14 @@ func (n *Node) deliver(p *packet.Packet) {
 		n.net.pool.Put(p)
 		return
 	}
-	next, ok := n.nextHop[p.Dst]
-	if !ok {
-		n.net.notifyDrop(Drop{Packet: p, Node: n.name, Reason: DropNoRoute, At: n.net.sched.Now()})
-		return
+	// ComputeRoutes resolved every (src, dst) pair into outByID, covering
+	// "unknown destination", "no next hop", and "next hop without a link"
+	// alike as nil entries (index 0 is the reserved unresolved id), so
+	// forwarding is one bounds check and one slice load.
+	var out *Link
+	if int(p.DstID) < len(n.outByID) {
+		out = n.outByID[p.DstID]
 	}
-	out := n.links[next]
 	if out == nil {
 		n.net.notifyDrop(Drop{Packet: p, Node: n.name, Reason: DropNoRoute, At: n.net.sched.Now()})
 		return

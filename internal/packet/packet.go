@@ -72,6 +72,11 @@ type Packet struct {
 	Flow FlowID
 	// Dst is the name of the egress node the packet is routed to.
 	Dst string
+	// DstID is the network's routing handle for Dst: a dense 1-based node
+	// index resolved from Dst at the packet's first hop and used for O(1)
+	// route lookups on every subsequent hop. Zero means "not yet resolved";
+	// model and application code never sets or reads it.
+	DstID uint32
 	// SizeBytes is the packet length. The paper's evaluation uses a fixed
 	// 1000-byte packet everywhere.
 	SizeBytes int

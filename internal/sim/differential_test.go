@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"fmt"
 	"sort"
 	"testing"
 	"time"
@@ -76,6 +77,10 @@ func opPrograms() [][]byte {
 		{2, 0, 3, 0, 1, 0, 2, 0},                         // cancel-empty-then-tie
 		{0, 255, 0, 1, 0, 128, 3, 0, 0, 2, 3, 0},         // interleaved-steps
 		{0, 5, 1, 0, 1, 0, 2, 1, 3, 0, 3, 0},             // ties-and-cancel
+		// cancel-heavy
+		{0, 3, 0, 7, 0, 2, 0, 9, 2, 0, 2, 1, 2, 2, 0, 1, 2, 3, 3, 0, 0, 4, 2, 0, 2, 5, 3, 0, 2, 6, 3, 0, 3, 0},
+		// same-timestamp-burst
+		{0, 5, 1, 0, 1, 0, 1, 0, 1, 0, 1, 0, 1, 0, 1, 0, 3, 0, 1, 0, 1, 0, 2, 3, 3, 0, 3, 0},
 	}
 	// A long pseudo-random program (fixed recurrence, no global randomness)
 	// that mixes all four ops and grows the queue well past one heap level.
@@ -93,11 +98,23 @@ type firing struct {
 	ord int
 }
 
-// runProgram interprets the op program against the real scheduler using
-// cancellable handles and returns the firing sequence.
-func runProgram(t *testing.T, program []byte) []firing {
+// queueKinds are the implementations the differential suite pins against the
+// reference; every test in this file runs each program under all of them.
+var queueKinds = []QueueKind{QueueHeap, QueueCalendar}
+
+// diffScales stretch the op programs' byte-valued delays (≤255 units) onto
+// three calendar regimes: within one bucket, across buckets within one
+// rotation, and across rotations through the overflow heap. The heap is
+// geometry-free, but the calendar's bucket-clearing, rotation-roll and
+// fast-forward paths only run when programs actually cross those boundaries.
+var diffScales = []time.Duration{1, 1100 * time.Microsecond, 97 * time.Millisecond}
+
+// runProgram interprets the op program against the real scheduler (backed by
+// the given queue kind) using cancellable handles and returns the firing
+// sequence. Delays are multiplied by scale.
+func runProgram(t *testing.T, kind QueueKind, program []byte, scale time.Duration) []firing {
 	t.Helper()
-	s := NewScheduler()
+	s := NewSchedulerKind(kind)
 	var (
 		fired   []firing
 		pending []*Event
@@ -117,7 +134,7 @@ func runProgram(t *testing.T, program []byte) []firing {
 		op, arg := program[i]%4, program[i+1]
 		switch op {
 		case 0:
-			lastAt = s.Now() + time.Duration(arg)
+			lastAt = s.Now() + time.Duration(arg)*scale
 			schedule(lastAt)
 		case 1:
 			if lastAt < s.Now() {
@@ -143,7 +160,7 @@ func runProgram(t *testing.T, program []byte) []firing {
 
 // runProgramRef interprets the same program against the reference sorted
 // list.
-func runProgramRef(program []byte) []firing {
+func runProgramRef(program []byte, scale time.Duration) []firing {
 	r := &refScheduler{}
 	var (
 		fired   []firing
@@ -160,7 +177,7 @@ func runProgramRef(program []byte) []firing {
 		op, arg := program[i]%4, program[i+1]
 		switch op {
 		case 0:
-			lastAt = r.now + time.Duration(arg)
+			lastAt = r.now + time.Duration(arg)*scale
 			schedule(lastAt)
 		case 1:
 			if lastAt < r.now {
@@ -179,20 +196,25 @@ func runProgramRef(program []byte) []firing {
 	return fired
 }
 
-// TestSchedulerDifferential pins the heap's total order against the
-// reference implementation: identical programs must produce identical
-// firing sequences, cancel-skips included.
+// TestSchedulerDifferential pins each queue implementation's total order
+// against the reference: identical programs must produce identical firing
+// sequences, cancel-skips included.
 func TestSchedulerDifferential(t *testing.T) {
-	for pi, program := range opPrograms() {
-		got := runProgram(t, program)
-		want := runProgramRef(program)
-		if len(got) != len(want) {
-			t.Fatalf("program %d: fired %d events, reference fired %d", pi, len(got), len(want))
-		}
-		for i := range got {
-			if got[i] != want[i] {
-				t.Fatalf("program %d: firing %d = {at %v, ord %d}, reference {at %v, ord %d}",
-					pi, i, got[i].at, got[i].ord, want[i].at, want[i].ord)
+	for _, kind := range queueKinds {
+		for _, scale := range diffScales {
+			for pi, program := range opPrograms() {
+				got := runProgram(t, kind, program, scale)
+				want := runProgramRef(program, scale)
+				if len(got) != len(want) {
+					t.Fatalf("%v scale %v program %d: fired %d events, reference fired %d",
+						kind, scale, pi, len(got), len(want))
+				}
+				for i := range got {
+					if got[i] != want[i] {
+						t.Fatalf("%v scale %v program %d: firing %d = {at %v, ord %d}, reference {at %v, ord %d}",
+							kind, scale, pi, i, got[i].at, got[i].ord, want[i].at, want[i].ord)
+					}
+				}
 			}
 		}
 	}
@@ -202,8 +224,18 @@ func TestSchedulerDifferential(t *testing.T) {
 // handle-free PostAt path (cancel ops become no-ops on both sides): pooled
 // events must follow exactly the same (time, seq) total order as handles.
 func TestSchedulerDifferentialPost(t *testing.T) {
+	for _, kind := range queueKinds {
+		t.Run(kind.String(), func(t *testing.T) {
+			for _, scale := range diffScales {
+				testDifferentialPost(t, kind, scale)
+			}
+		})
+	}
+}
+
+func testDifferentialPost(t *testing.T, kind QueueKind, scale time.Duration) {
 	for pi, program := range opPrograms() {
-		s := NewScheduler()
+		s := NewSchedulerKind(kind)
 		r := &refScheduler{}
 		var got, want []firing
 		nexttag := 0
@@ -212,7 +244,7 @@ func TestSchedulerDifferentialPost(t *testing.T) {
 			op, arg := program[i]%4, program[i+1]
 			switch op {
 			case 0, 1:
-				at := s.Now() + time.Duration(arg)
+				at := s.Now() + time.Duration(arg)*scale
 				if op == 1 {
 					at = lastAt
 					if at < s.Now() {
@@ -243,6 +275,195 @@ func TestSchedulerDifferentialPost(t *testing.T) {
 			if got[i] != want[i] {
 				t.Fatalf("program %d: firing %d = %+v, reference %+v", pi, i, got[i], want[i])
 			}
+		}
+	}
+}
+
+// TestSchedulerDifferentialMixed drives every scheduling tier at once —
+// cancellable handles, pooled closures, registered handlers with in-place
+// re-arms, and the reserved-sequence arrival chain the fused link pipeline
+// uses — through deterministic pseudo-random interleavings, in lockstep
+// against the reference list, under both queue kinds. The reference models a
+// re-arm as an eager insert at the instant the real scheduler draws the
+// re-arm sequence, and a reservation as an eager insert at reservation time,
+// so any drift in sequence accounting surfaces as a firing-order mismatch.
+// The event-loop profiler rides along at stride 1 and its exact per-kind
+// counts must match the reference's manual tally.
+func TestSchedulerDifferentialMixed(t *testing.T) {
+	for _, kind := range queueKinds {
+		for seed := uint64(1); seed <= 4; seed++ {
+			t.Run(fmt.Sprintf("%v/seed%d", kind, seed), func(t *testing.T) {
+				runMixedDifferential(t, kind, seed)
+			})
+		}
+	}
+}
+
+func runMixedDifferential(t *testing.T, kind QueueKind, seed uint64) {
+	const (
+		ops        = 800
+		rearmDelay = 3 * time.Millisecond
+		chainDelay = 2 * time.Millisecond
+	)
+	s := NewSchedulerKind(kind)
+	prof := NewLoopProfiler(1)
+	s.SetProfiler(prof)
+	r := &refScheduler{}
+	var refCounts [numHandlerKinds]uint64
+
+	type rec struct {
+		at  time.Duration
+		tag uint32
+	}
+	var got, want []rec
+
+	// Registered tier: tags divisible by five re-arm themselves once, the
+	// shape the link tx handlers use.
+	rearmed := map[uint32]bool{}
+	refRearmed := map[uint32]bool{}
+	hid := s.RegisterHandler(func(arg uint32) {
+		s.MarkHandler(KindLinkTx)
+		got = append(got, rec{s.Now(), arg})
+		if arg%5 == 0 && !rearmed[arg] {
+			rearmed[arg] = true
+			s.RescheduleAfter(rearmDelay)
+		}
+	})
+	var refFire func(arg uint32)
+	refFire = func(arg uint32) {
+		refCounts[KindLinkTx]++
+		want = append(want, rec{r.now, arg})
+		if arg%5 == 0 && !refRearmed[arg] {
+			refRearmed[arg] = true
+			r.at(r.now+rearmDelay, func() { refFire(arg) })
+		}
+	}
+
+	// Reserved-sequence chain: the fused pipeline's arrival FIFO, constant
+	// delay so arrival times are monotone per the API contract.
+	type chainEnt struct {
+		at  time.Duration
+		seq uint64
+		tag uint32
+	}
+	var fifo []chainEnt
+	chainHid := s.RegisterHandler(func(uint32) {
+		s.MarkHandler(KindLinkProp)
+		head := fifo[0]
+		fifo = fifo[1:]
+		got = append(got, rec{s.Now(), head.tag})
+		if len(fifo) > 0 {
+			s.RescheduleReservedAt(fifo[0].at, fifo[0].seq)
+		}
+	})
+
+	var (
+		pending    []*Event
+		refPending []*refEvent
+		tag        uint32
+		lastAt     time.Duration
+	)
+	x := seed*0x9e3779b97f4a7c15 + 1
+	next := func(n uint64) uint64 {
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+		return x % n
+	}
+	for i := 0; i < ops; i++ {
+		switch op := next(16); {
+		case op < 3: // cancellable handle (stays KindOther)
+			at := s.Now() + time.Duration(next(8_000_000))
+			if op == 2 && lastAt >= s.Now() {
+				at = lastAt // exact tie with the previous schedule
+			}
+			lastAt = at
+			tg := tag
+			tag++
+			ev, err := s.At(at, func() { got = append(got, rec{at, tg}) })
+			if err != nil {
+				t.Fatalf("At: %v", err)
+			}
+			pending = append(pending, ev)
+			refPending = append(refPending, r.at(at, func() {
+				refCounts[KindOther]++
+				want = append(want, rec{at, tg})
+			}))
+		case op < 6: // pooled closure, far horizons included
+			at := s.Now() + time.Duration(next(300_000_000))
+			lastAt = at
+			tg := tag
+			tag++
+			mark := KindMeasure
+			if tg&1 == 1 {
+				mark = KindControl
+			}
+			s.PostAt(at, func() {
+				s.MarkHandler(mark)
+				got = append(got, rec{at, tg})
+			})
+			r.at(at, func() {
+				refCounts[mark]++
+				want = append(want, rec{at, tg})
+			})
+		case op < 9: // registered handler, may re-arm once
+			d := time.Duration(next(5_000_000))
+			lastAt = s.Now() + d
+			tg := tag
+			tag++
+			s.PostHandler(d, hid, tg)
+			r.at(r.now+d, func() { refFire(tg) })
+		case op < 11: // reserved-sequence chain hop
+			at := s.Now() + chainDelay
+			seq := s.ReserveSeq()
+			if len(fifo) == 0 {
+				s.PostReservedHandlerAt(at, seq, chainHid, 0)
+			}
+			tg := tag
+			tag++
+			fifo = append(fifo, chainEnt{at: at, seq: seq, tag: tg})
+			r.at(at, func() {
+				refCounts[KindLinkProp]++
+				want = append(want, rec{at, tg})
+			})
+		case op < 13: // cancel the same pending handle on both sides
+			if len(pending) > 0 {
+				idx := int(next(uint64(len(pending))))
+				pending[idx].Cancel()
+				refPending[idx].canceled = true
+			}
+		default: // step both sides
+			s.Step()
+			r.step()
+		}
+	}
+	if err := s.RunAll(); err != nil {
+		t.Fatalf("RunAll: %v", err)
+	}
+	r.runAll()
+
+	if len(got) != len(want) {
+		t.Fatalf("fired %d events, reference fired %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("firing %d = {at %v, tag %d}, reference {at %v, tag %d}",
+				i, got[i].at, got[i].tag, want[i].at, want[i].tag)
+		}
+	}
+	if s.Processed() != r.stepped {
+		t.Fatalf("Processed() = %d, reference stepped %d", s.Processed(), r.stepped)
+	}
+	if s.Len() != 0 {
+		t.Fatalf("queue not drained: Len() = %d", s.Len())
+	}
+	counts := map[HandlerKind]uint64{}
+	for _, st := range prof.Snapshot() {
+		counts[st.Kind] = st.Events
+	}
+	for k := HandlerKind(0); k < numHandlerKinds; k++ {
+		if counts[k] != refCounts[k] {
+			t.Fatalf("profiler counted %d %v events, reference counted %d", counts[k], k, refCounts[k])
 		}
 	}
 }

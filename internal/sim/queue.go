@@ -1,0 +1,67 @@
+package sim
+
+import (
+	"fmt"
+	"strings"
+)
+
+// QueueKind names a pending-event queue implementation behind the scheduler
+// seam. All kinds produce exactly the same (time, sequence) event order —
+// the differential suite pins this — so the choice affects performance only,
+// never simulation output.
+type QueueKind uint8
+
+const (
+	// QueueHeap is the default: the specialized 4-ary min-heap over inline
+	// entries. Eager O(log n) cancellation, best all-round choice and the
+	// byte-identical reference implementation.
+	QueueHeap QueueKind = iota
+	// QueueCalendar is a calendar queue (Brown 1988): a ring of time
+	// buckets sorted on demand, with an overflow heap for events beyond
+	// the current rotation. Near-O(1) insert/pop when many events are in
+	// flight at similar timescales (high event-density runs); cancellation
+	// is lazy (flagged, discarded at the front).
+	QueueCalendar
+)
+
+// String returns the name ParseQueueKind accepts.
+func (k QueueKind) String() string {
+	switch k {
+	case QueueHeap:
+		return "heap"
+	case QueueCalendar:
+		return "calendar"
+	default:
+		return fmt.Sprintf("QueueKind(%d)", uint8(k))
+	}
+}
+
+// ParseQueueKind maps a scenario/CLI spelling to a QueueKind. The empty
+// string selects the default heap.
+func ParseQueueKind(s string) (QueueKind, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "", "heap":
+		return QueueHeap, nil
+	case "calendar", "cal":
+		return QueueCalendar, nil
+	default:
+		return QueueHeap, fmt.Errorf("sim: unknown event queue %q (want heap or calendar)", s)
+	}
+}
+
+// NewSchedulerKind returns an empty scheduler backed by the given queue
+// implementation. An unknown kind panics: kinds reach here via
+// ParseQueueKind or the exported constants, so anything else is a
+// programming error.
+func NewSchedulerKind(k QueueKind) *Scheduler {
+	s := &Scheduler{kind: k}
+	switch k {
+	case QueueHeap:
+		// s.heap's zero value is ready.
+	case QueueCalendar:
+		s.alt = newCalendarQueue(s, defaultCalendarWidth, defaultCalendarBuckets)
+	default:
+		panic(fmt.Sprintf("sim: NewSchedulerKind(%v)", k))
+	}
+	return s
+}

@@ -10,21 +10,43 @@
 // timestamp order, so model code needs no locking and every simulation with
 // the same seed produces the same trace.
 //
-// # Performance model
+// # Memory model
 //
-// The pending-event queue is a specialized 4-ary min-heap over *Event — no
-// container/heap indirection, no interface boxing — because scheduler
-// overhead, not protocol logic, dominates packet-level simulation at scale.
-// Two scheduling flavors trade cancellability against allocation:
+// A queued event is a 24-byte pointer-free struct — (time, sequence, packed
+// handler id, arg) — stored inline in the queue's backing array. Because the
+// entries hold no pointers, the garbage collector never scans the queue and
+// reordering it (the sift loops of the heap, the bucket sorts of the
+// calendar) is pure memory movement with no write barriers; ordering
+// comparisons read the key straight out of the array, so a sift touches no
+// other cache lines. What an entry *runs* is resolved through the handler
+// id at dispatch time. Three tiers:
 //
+//   - Registered handlers (RegisterHandler + PostHandler/PostHandlerAt): the
+//     handler id indexes a table of func(arg uint32) callbacks registered
+//     once per run; the arg typically indexes a caller-side pool (e.g. the
+//     in-flight timer records of the link pipeline). Scheduling one of these
+//     writes no pointers anywhere — this is the hot-path tier.
+//   - Post/PostAt with a func(): the callback parks in a free-listed slot
+//     table on the scheduler and the entry carries the slot number. Two
+//     pointer writes per event (park, clear), zero allocations.
 //   - At/After/MustAt/MustAfter return a cancellable *Event handle. Handles
 //     are never recycled (a stale handle after the event fired must stay a
-//     safe no-op), so each call allocates one Event. Cancel removes the
-//     event from the heap in O(log n) via its maintained index, so heavy
-//     cancellation does not bloat the queue.
-//   - Post/PostAt return no handle. Their events come from a free list on
-//     the Scheduler and return to it after firing, so steady-state hot-path
-//     scheduling (the per-packet link pipeline) allocates nothing.
+//     safe no-op), so each call allocates one Event record; the entry's arg
+//     names the slot holding it so Cancel can find the queue entry again.
+//
+// A callback may re-arm its own event with RescheduleAfter: the entry is
+// re-keyed in place at the top of the queue instead of being discarded and
+// re-pushed, which is what the fused link pipeline in internal/netem uses to
+// run one transmit+propagate timer per packet.
+//
+// # Queue implementations
+//
+// Two queue implementations live behind the scheduler seam (see QueueKind):
+// the default specialized 4-ary min-heap, which is the byte-identical
+// reference, and a calendar queue for high event-density runs. Both produce
+// exactly the same (time, sequence) total order — pinned by the differential
+// suite in differential_test.go — so scenario output never depends on the
+// queue choice.
 package sim
 
 import (
@@ -41,53 +63,150 @@ type Time = time.Duration
 // reached.
 var ErrHalted = errors.New("simulation halted")
 
-// Event is a scheduled callback. It is returned by the scheduling methods so
-// that callers may cancel it before it fires.
+// entry is one queued event: 24 pointer-free bytes. The key (at, seq) orders
+// the queue; (hid, arg) says what to run — see the package comment's memory
+// model.
+type entry struct {
+	at  Time
+	seq uint64
+	hid HandlerID
+	arg uint32
+}
+
+// less orders entries by (time, sequence) so that events scheduled for the
+// same instant fire in scheduling order (stable FIFO tie-break).
+func less(a, b *entry) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
+// HandlerID selects what a queue entry runs. Values below hidFirst are the
+// built-in closure and handle tiers; RegisterHandler hands out the rest.
+type HandlerID uint32
+
+const (
+	// hidClosure: arg is a slot in Scheduler.fns holding a parked func().
+	hidClosure HandlerID = 0
+	// hidHandle: arg is a slot in Scheduler.evs holding a live *Event.
+	hidHandle HandlerID = 1
+	// hidFirst is the first id RegisterHandler returns.
+	hidFirst HandlerID = 2
+)
+
+// Handle index sentinels (Event.index when the event is not resident in the
+// 4-ary heap).
+const (
+	// indexFired marks a handle whose event already fired, was cancelled,
+	// or was never queued.
+	indexFired = -1
+	// indexLazy marks a handle queued in a lazily-cancelling queue (the
+	// calendar); its position is not tracked and Cancel flags it instead of
+	// removing it.
+	indexLazy = -2
+)
+
+// Event is a scheduled callback handle. It is returned by the scheduling
+// methods so that callers may cancel the event before it fires.
 type Event struct {
 	at       Time
-	seq      uint64
-	index    int // position in the heap, -1 when not queued
-	canceled bool
-	pooled   bool // handle-free Post event: recycled after firing
-	sched    *Scheduler
 	fn       func()
+	sched    *Scheduler
+	index    int    // heap position; indexFired / indexLazy otherwise
+	slot     uint32 // scheduler evs slot while queued
+	canceled bool
 }
 
 // At reports the virtual time at which the event is (or was) scheduled to
 // fire.
 func (e *Event) At() Time { return e.at }
 
-// Cancel prevents the event from firing. The event is removed from the queue
-// immediately (O(log n) via its heap index). Cancelling an event that already
-// fired or was already cancelled is a no-op. Cancel must only be called from
-// within the simulation (i.e. from event callbacks or before Run), never from
+// Cancel prevents the event from firing. Under the heap queue the entry is
+// removed immediately (O(log n) via its tracked index); under the calendar
+// queue it is flagged and discarded when it reaches the front. Either way
+// Len() stops counting it at once. Cancelling an event that already fired or
+// was already cancelled is a no-op. Cancel must only be called from within
+// the simulation (i.e. from event callbacks or before Run), never from
 // another goroutine.
 func (e *Event) Cancel() {
-	e.canceled = true
-	e.fn = nil
-	if e.index >= 0 && e.sched != nil {
-		e.sched.remove(e)
+	if e.canceled {
+		return
 	}
+	e.canceled = true
+	if e.index == indexFired || e.sched == nil {
+		return
+	}
+	s := e.sched
+	s.live--
+	if e.index >= 0 {
+		s.heap.removeAt(e.index)
+		s.releaseEv(e.slot)
+		e.fn = nil
+		e.index = indexFired
+	}
+	// indexLazy: the stale entry (and its slot) stay until the calendar
+	// discards them at the front.
 }
 
 // Canceled reports whether Cancel was called on the event.
 func (e *Event) Canceled() bool { return e.canceled }
 
+// altQueue is the seam behind which non-default queue implementations live.
+// The contract mirrors what the event loop needs: push an entry, surface the
+// live minimum (discarding lazily-cancelled entries on the way), and either
+// drop that minimum or swap it for a re-armed entry. peek's pointer is valid
+// only until the next queue operation.
+type altQueue interface {
+	push(e entry)
+	peek() (*entry, bool)
+	dropMin()
+	replaceMin(e entry)
+}
+
 // Scheduler owns the virtual clock and the pending-event queue.
 //
-// The zero value is ready to use; NewScheduler is provided for symmetry and
-// future options.
+// The zero value is ready to use (with the default heap queue); NewScheduler
+// and NewSchedulerKind construct configured instances.
 type Scheduler struct {
-	now     Time
-	seq     uint64
-	events  []*Event // 4-ary min-heap ordered by (at, seq)
-	free    []*Event // recycled handle-free events
+	now  Time
+	seq  uint64
+	live int // queued non-cancelled events
+
+	heap heapQueue // default 4-ary inline-entry heap
+	alt  altQueue  // non-nil selects an alternative queue (calendar)
+	kind QueueKind
+
+	// handlers is the registered-handler dispatch table; slots below
+	// hidFirst are reserved for the built-in tiers.
+	handlers []func(arg uint32)
+	// fns parks closure-tier callbacks; evs parks handle-tier events.
+	// Both are free-listed so steady-state scheduling allocates nothing.
+	fns    []func()
+	fnFree []uint32
+	evs    []*Event
+	evFree []uint32
+
 	halted  bool
 	stepped uint64
 	prof    *LoopProfiler // nil unless the event-loop profiler is attached
+
+	inStep   bool
+	rearmAt  Time
+	rearmSeq uint64
+	rearmSet bool
+	// pend holds the first handle-free entry scheduled during the current
+	// callback. Deferring its queue insertion until the executing entry is
+	// retired lets exec turn a drop+push pair into a single in-place
+	// replace. Deferral is invisible to ordering: the (at, seq) key is
+	// assigned at the schedule call as always, and keys alone define the
+	// pop order.
+	pend    entry
+	pendSet bool
 }
 
-// NewScheduler returns an empty scheduler with the clock at zero.
+// NewScheduler returns an empty scheduler with the clock at zero, using the
+// default heap queue.
 func NewScheduler() *Scheduler {
 	return &Scheduler{}
 }
@@ -95,12 +214,170 @@ func NewScheduler() *Scheduler {
 // Now reports the current virtual time.
 func (s *Scheduler) Now() Time { return s.now }
 
-// Len reports the number of events still queued. Cancelled events are
-// removed from the queue eagerly, so the count covers live events only.
-func (s *Scheduler) Len() int { return len(s.events) }
+// Len reports the number of live events still queued: cancelled events stop
+// counting the moment Cancel returns, and the currently executing event is
+// not counted while its callback runs.
+func (s *Scheduler) Len() int { return s.live }
 
 // Processed reports how many events have been executed so far.
 func (s *Scheduler) Processed() uint64 { return s.stepped }
+
+// Kind reports which queue implementation backs the scheduler.
+func (s *Scheduler) Kind() QueueKind { return s.kind }
+
+// RegisterHandler adds f to the dispatch table and returns its id for use
+// with PostHandler/PostHandlerAt. Handlers are registered once (typically at
+// model construction) and never unregistered; the arg passed at scheduling
+// time is handed back to f verbatim, so callers use it to index their own
+// pooled state. Registering is not for per-event use — that is what the arg
+// is for.
+func (s *Scheduler) RegisterHandler(f func(arg uint32)) HandlerID {
+	if f == nil {
+		panic(errors.New("sim: register nil handler"))
+	}
+	if s.handlers == nil {
+		s.handlers = make([]func(uint32), hidFirst, 8)
+	}
+	id := HandlerID(len(s.handlers))
+	s.handlers = append(s.handlers, f)
+	return id
+}
+
+// PostHandlerAt schedules registered handler id to run with arg at absolute
+// time t. Nothing is allocated and no pointer is written anywhere: the event
+// is 24 flat bytes in the queue. It panics on the programming errors At
+// reports, and on an unregistered id.
+func (s *Scheduler) PostHandlerAt(t Time, id HandlerID, arg uint32) {
+	if t < s.now {
+		panic(fmt.Errorf("sim: post at %v before now %v", t, s.now))
+	}
+	if id < hidFirst || int(id) >= len(s.handlers) {
+		panic(fmt.Errorf("sim: post unregistered handler %d", id))
+	}
+	s.pushEntry(entry{at: t, seq: s.seq, hid: id, arg: arg})
+}
+
+// PostHandler schedules registered handler id to run d after the current
+// virtual time (see PostHandlerAt).
+func (s *Scheduler) PostHandler(d time.Duration, id HandlerID, arg uint32) {
+	s.PostHandlerAt(s.now+d, id, arg)
+}
+
+// pushEntry assigns the next sequence number's entry to the active queue.
+// The caller has filled every field but relies on seq/live bookkeeping here.
+func (s *Scheduler) pushEntry(e entry) {
+	s.seq++
+	s.live++
+	s.enqueue(e)
+}
+
+// enqueue inserts a fully-keyed entry. During a callback the first entry is
+// parked in pend (see that field); everything else goes straight in.
+func (s *Scheduler) enqueue(e entry) {
+	if s.inStep && !s.pendSet {
+		s.pend = e
+		s.pendSet = true
+		return
+	}
+	if s.alt != nil {
+		s.alt.push(e)
+	} else {
+		s.heap.push(e)
+	}
+}
+
+// ReserveSeq draws the next sequence number for an event the caller will
+// enqueue later, at the moment its firing time reaches the front of some
+// model-side FIFO (the per-link propagation ring in internal/netem batches
+// arrivals this way: one queued event stands for the whole ring, and each
+// successor is enqueued with the sequence number reserved when it entered).
+// The reservation counts toward Len immediately — the event logically exists
+// from here — and must be spent exactly once, via PostReservedHandlerAt or
+// RescheduleReservedAt, with the same timestamp ordering it would have had
+// as an immediate post. Tie ordering against other events is then identical
+// to scheduling eagerly at reservation time.
+func (s *Scheduler) ReserveSeq() uint64 {
+	v := s.seq
+	s.seq++
+	s.live++
+	return v
+}
+
+// PostReservedHandlerAt schedules registered handler id at absolute time t
+// under a sequence number previously drawn by ReserveSeq. No bookkeeping is
+// done here — the reservation already counted the event — so t and seq must
+// be exactly what an eager post at reservation time would have used.
+func (s *Scheduler) PostReservedHandlerAt(t Time, seq uint64, id HandlerID, arg uint32) {
+	if t < s.now {
+		panic(fmt.Errorf("sim: post at %v before now %v", t, s.now))
+	}
+	if id < hidFirst || int(id) >= len(s.handlers) {
+		panic(fmt.Errorf("sim: post unregistered handler %d", id))
+	}
+	if seq >= s.seq {
+		panic(fmt.Errorf("sim: reserved seq %d was never drawn", seq))
+	}
+	s.enqueue(entry{at: t, seq: seq, hid: id, arg: arg})
+}
+
+// RescheduleReservedAt re-arms the currently executing event at absolute
+// time t under a sequence number previously drawn by ReserveSeq — the
+// chained-FIFO counterpart of RescheduleAfter: the entry is re-keyed in
+// place instead of dropped and re-pushed, and the reservation supplies the
+// key instead of a fresh draw. The same panics as RescheduleAfter apply.
+func (s *Scheduler) RescheduleReservedAt(t Time, seq uint64) {
+	if !s.inStep {
+		panic(errors.New("sim: RescheduleReservedAt outside an event callback"))
+	}
+	if s.rearmSet {
+		panic(errors.New("sim: reschedule called twice in one callback"))
+	}
+	if t < s.now {
+		panic(fmt.Errorf("sim: reschedule at %v before now %v", t, s.now))
+	}
+	if seq >= s.seq {
+		panic(fmt.Errorf("sim: reserved seq %d was never drawn", seq))
+	}
+	s.rearmAt = t
+	s.rearmSeq = seq
+	s.rearmSet = true
+}
+
+// allocFn parks fn in a closure slot and returns the slot number.
+func (s *Scheduler) allocFn(fn func()) uint32 {
+	if k := len(s.fnFree); k > 0 {
+		slot := s.fnFree[k-1]
+		s.fnFree = s.fnFree[:k-1]
+		s.fns[slot] = fn
+		return slot
+	}
+	s.fns = append(s.fns, fn)
+	return uint32(len(s.fns) - 1)
+}
+
+// releaseFn clears a closure slot for reuse.
+func (s *Scheduler) releaseFn(slot uint32) {
+	s.fns[slot] = nil
+	s.fnFree = append(s.fnFree, slot)
+}
+
+// allocEv parks ev in a handle slot and returns the slot number.
+func (s *Scheduler) allocEv(ev *Event) uint32 {
+	if k := len(s.evFree); k > 0 {
+		slot := s.evFree[k-1]
+		s.evFree = s.evFree[:k-1]
+		s.evs[slot] = ev
+		return slot
+	}
+	s.evs = append(s.evs, ev)
+	return uint32(len(s.evs) - 1)
+}
+
+// releaseEv clears a handle slot for reuse.
+func (s *Scheduler) releaseEv(slot uint32) {
+	s.evs[slot] = nil
+	s.evFree = append(s.evFree, slot)
+}
 
 // At schedules fn to run at absolute virtual time t. Scheduling in the past
 // is an error: models that do this are buggy, so At returns a nil event and
@@ -112,10 +389,22 @@ func (s *Scheduler) At(t Time, fn func()) (*Event, error) {
 	if fn == nil {
 		return nil, errors.New("sim: schedule nil callback")
 	}
-	e := &Event{at: t, seq: s.seq, fn: fn, index: -1, sched: s}
-	s.seq++
-	s.push(e)
-	return e, nil
+	ev := &Event{at: t, fn: fn, sched: s, index: indexFired}
+	slot := s.allocEv(ev)
+	ev.slot = slot
+	ent := entry{at: t, seq: s.seq, hid: hidHandle, arg: slot}
+	if s.alt != nil {
+		ev.index = indexLazy
+		s.seq++
+		s.live++
+		s.alt.push(ent)
+	} else {
+		s.heap.sc = s
+		s.seq++
+		s.live++
+		s.heap.push(ent) // sets ev.index
+	}
+	return ev, nil
 }
 
 // After schedules fn to run d after the current virtual time. A negative d is
@@ -145,9 +434,9 @@ func (s *Scheduler) MustAt(t Time, fn func()) *Event {
 }
 
 // PostAt schedules fn at absolute time t without returning a handle. The
-// event cannot be cancelled; in exchange its Event record is drawn from and
-// returned to the scheduler's free list, so a steady-state chain of posts
-// allocates nothing. It panics on the programming errors At reports.
+// event cannot be cancelled; in exchange the callback parks in a free-listed
+// slot and the queue entry is flat, so posting allocates nothing. It panics
+// on the programming errors At reports.
 func (s *Scheduler) PostAt(t Time, fn func()) {
 	if t < s.now {
 		panic(fmt.Errorf("sim: post at %v before now %v", t, s.now))
@@ -155,60 +444,150 @@ func (s *Scheduler) PostAt(t Time, fn func()) {
 	if fn == nil {
 		panic(errors.New("sim: post nil callback"))
 	}
-	var e *Event
-	if n := len(s.free); n > 0 {
-		e = s.free[n-1]
-		s.free[n-1] = nil
-		s.free = s.free[:n-1]
-	} else {
-		e = &Event{pooled: true, sched: s}
-	}
-	e.at = t
-	e.seq = s.seq
-	e.fn = fn
-	e.index = -1
-	e.canceled = false
-	s.seq++
-	s.push(e)
+	s.pushEntry(entry{at: t, seq: s.seq, hid: hidClosure, arg: s.allocFn(fn)})
 }
 
 // Post schedules fn to run d after the current virtual time, handle-free and
-// allocation-free in steady state (see PostAt).
+// allocation-free (see PostAt).
 func (s *Scheduler) Post(d time.Duration, fn func()) {
 	s.PostAt(s.now+d, fn)
+}
+
+// RescheduleAfter re-arms the currently executing event to fire again d
+// after the current time — exactly as if the callback had rescheduled
+// itself with Post/PostHandler at this point (the sequence number is drawn
+// here, so tie ordering against other events scheduled in the same callback
+// is identical to that spelling), except the queue re-keys the entry in
+// place at the top instead of discarding it and pushing a new one. The
+// re-armed firing is handle-free regardless of how the original event was
+// scheduled (the original handle, if any, is already spent). It panics when
+// called outside an event callback, called twice within one callback, or
+// given a negative delay.
+func (s *Scheduler) RescheduleAfter(d time.Duration) {
+	if !s.inStep {
+		panic(errors.New("sim: RescheduleAfter outside an event callback"))
+	}
+	if s.rearmSet {
+		panic(errors.New("sim: RescheduleAfter called twice in one callback"))
+	}
+	if d < 0 {
+		panic(fmt.Errorf("sim: RescheduleAfter with negative delay %v", d))
+	}
+	s.rearmAt = s.now + d
+	s.rearmSeq = s.seq
+	s.seq++
+	s.live++
+	s.rearmSet = true
 }
 
 // Halt stops Run before the horizon. It is intended to be called from within
 // an event callback (e.g. when a termination condition is detected).
 func (s *Scheduler) Halt() { s.halted = true }
 
-// Step executes the single earliest pending event. It reports whether an
-// event was executed (false when the queue is empty).
-func (s *Scheduler) Step() bool {
-	for len(s.events) > 0 {
-		e := s.popMin()
-		if e.canceled {
-			// Cancel removes events eagerly; this is a defensive guard for
-			// an event cancelled while popped (cannot happen single-threaded).
-			continue
-		}
-		s.now = e.at
-		s.stepped++
-		fn := e.fn
-		e.fn = nil
-		if e.pooled {
-			s.free = append(s.free, e)
-		}
+// peekLive surfaces the earliest live entry without removing it. The pointer
+// is valid only until the next queue operation; callers copy what they need.
+func (s *Scheduler) peekLive() (*entry, bool) {
+	if s.alt != nil {
+		return s.alt.peek()
+	}
+	if len(s.heap.es) == 0 {
+		return nil, false
+	}
+	return &s.heap.es[0], true
+}
+
+// exec runs the entry peekLive just surfaced. The entry stays at the front
+// of the queue while its callback runs (new events sort strictly after it,
+// so it remains the minimum); afterwards it is either dropped or — when the
+// callback called RescheduleAfter — re-keyed in place.
+func (s *Scheduler) exec(e *entry) {
+	s.now = e.at
+	s.stepped++
+	s.live--
+	hid, arg := e.hid, e.arg
+	var fn func()
+	switch hid {
+	case hidClosure:
+		fn = s.fns[arg]
+	case hidHandle:
+		ev := s.evs[arg]
+		s.releaseEv(arg)
+		ev.index = indexFired
+		fn = ev.fn
+		ev.fn = nil
+	}
+	s.rearmSet = false
+	s.inStep = true
+	if hid >= hidFirst {
+		h := s.handlers[hid]
 		if p := s.prof; p != nil {
 			p.begin()
-			fn()
+			h(arg)
 			p.end()
-			return true
+		} else {
+			h(arg)
 		}
+	} else if p := s.prof; p != nil {
+		p.begin()
 		fn()
-		return true
+		p.end()
+	} else {
+		fn()
 	}
-	return false
+	s.inStep = false
+	if s.rearmSet {
+		ne := entry{at: s.rearmAt, seq: s.rearmSeq, hid: hid, arg: arg}
+		if hid == hidHandle {
+			// The handle is spent; the re-armed firing keeps the callback
+			// via a closure slot.
+			ne.hid, ne.arg = hidClosure, s.allocFn(fn)
+		}
+		if s.alt != nil {
+			s.alt.replaceMin(ne)
+			if s.pendSet {
+				s.pendSet = false
+				s.alt.push(s.pend)
+			}
+		} else {
+			s.heap.replaceMin(ne)
+			if s.pendSet {
+				s.pendSet = false
+				s.heap.push(s.pend)
+			}
+		}
+		return
+	}
+	if hid == hidClosure {
+		s.releaseFn(arg)
+	}
+	if s.pendSet {
+		// The callback retired its own entry and scheduled a new one: one
+		// in-place replace instead of a drop plus a push.
+		s.pendSet = false
+		if s.alt != nil {
+			s.alt.replaceMin(s.pend)
+		} else {
+			s.heap.replaceMin(s.pend)
+		}
+		return
+	}
+	if s.alt != nil {
+		s.alt.dropMin()
+	} else {
+		s.heap.dropMin()
+	}
+}
+
+// Step executes the single earliest pending event. It reports whether an
+// event was executed (false when the queue is empty). Step must not be
+// called from within an event callback.
+func (s *Scheduler) Step() bool {
+	e, ok := s.peekLive()
+	if !ok {
+		return false
+	}
+	s.exec(e)
+	return true
 }
 
 // Run executes events in order until the queue is empty, the next event lies
@@ -218,13 +597,14 @@ func (s *Scheduler) Step() bool {
 func (s *Scheduler) Run(horizon Time) error {
 	s.halted = false
 	for !s.halted {
-		if len(s.events) == 0 || s.events[0].at > horizon {
+		e, ok := s.peekLive()
+		if !ok || e.at > horizon {
 			if s.now < horizon {
 				s.now = horizon
 			}
 			return nil
 		}
-		s.Step()
+		s.exec(e)
 	}
 	return ErrHalted
 }
@@ -238,110 +618,4 @@ func (s *Scheduler) RunAll() error {
 		}
 	}
 	return ErrHalted
-}
-
-// less orders events by (time, sequence) so that events scheduled for the
-// same instant fire in scheduling order (stable FIFO tie-break).
-func less(a, b *Event) bool {
-	if a.at != b.at {
-		return a.at < b.at
-	}
-	return a.seq < b.seq
-}
-
-// The heap is 4-ary: children of i are 4i+1..4i+4, parent is (i-1)/4. The
-// wider fan-out halves the tree depth versus a binary heap, trading a few
-// extra comparisons per level for fewer cache-missing levels — a net win for
-// the sift-down-dominated pop workload of a discrete-event queue.
-const heapArity = 4
-
-// push inserts e into the heap.
-func (s *Scheduler) push(e *Event) {
-	e.index = len(s.events)
-	s.events = append(s.events, e)
-	s.siftUp(e.index)
-}
-
-// popMin removes and returns the earliest event.
-func (s *Scheduler) popMin() *Event {
-	h := s.events
-	e := h[0]
-	n := len(h) - 1
-	last := h[n]
-	h[n] = nil
-	s.events = h[:n]
-	if n > 0 {
-		s.events[0] = last
-		last.index = 0
-		s.siftDown(0)
-	}
-	e.index = -1
-	return e
-}
-
-// remove deletes the event at e.index from the heap (used by Cancel).
-func (s *Scheduler) remove(e *Event) {
-	i := e.index
-	h := s.events
-	n := len(h) - 1
-	last := h[n]
-	h[n] = nil
-	s.events = h[:n]
-	if i < n {
-		s.events[i] = last
-		last.index = i
-		// The replacement may violate the heap property in either
-		// direction relative to its new neighborhood.
-		s.siftDown(i)
-		s.siftUp(last.index)
-	}
-	e.index = -1
-}
-
-func (s *Scheduler) siftUp(i int) {
-	h := s.events
-	e := h[i]
-	for i > 0 {
-		parent := (i - 1) / heapArity
-		p := h[parent]
-		if !less(e, p) {
-			break
-		}
-		h[i] = p
-		p.index = i
-		i = parent
-	}
-	h[i] = e
-	e.index = i
-}
-
-func (s *Scheduler) siftDown(i int) {
-	h := s.events
-	n := len(h)
-	e := h[i]
-	for {
-		first := heapArity*i + 1
-		if first >= n {
-			break
-		}
-		// Find the smallest of up to heapArity children.
-		min := first
-		end := first + heapArity
-		if end > n {
-			end = n
-		}
-		for c := first + 1; c < end; c++ {
-			if less(h[c], h[min]) {
-				min = c
-			}
-		}
-		if !less(h[min], e) {
-			break
-		}
-		h[i] = h[min]
-		h[i].index = i
-		i = min
-	}
-	h[i] = e
-	e.index = i
 }

@@ -1,0 +1,57 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/experiments"
+)
+
+// TestFigureCSVByteIdentity pins the scheduler seam's central contract on
+// the full evaluation: every figure of §4 renders the byte-for-byte
+// identical CSV whichever queue implementation backs the scheduler and
+// whichever link pipeline (fused chain or two-event reference) moves the
+// packets. The knobs are performance choices only; any divergence means a
+// scheduler or pipeline bug perturbed the event order.
+func TestFigureCSVByteIdentity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full figure runs; skipped in -short")
+	}
+	for _, sc := range experiments.AllFigures(1) {
+		kind := SeriesAllowed
+		if strings.Contains(sc.Name, "cumulative") {
+			kind = SeriesCumulative
+		}
+		sc, kind := sc, kind
+		t.Run(sc.Name, func(t *testing.T) {
+			t.Parallel()
+			base := renderFigure(t, sc, kind)
+
+			cal := sc
+			cal.EventQueue = "calendar"
+			if got := renderFigure(t, cal, kind); !bytes.Equal(got, base) {
+				t.Errorf("calendar queue CSV diverges from heap CSV (%d vs %d bytes)", len(got), len(base))
+			}
+
+			unf := sc
+			unf.UnfusedLinks = true
+			if got := renderFigure(t, unf, kind); !bytes.Equal(got, base) {
+				t.Errorf("unfused pipeline CSV diverges from fused CSV (%d vs %d bytes)", len(got), len(base))
+			}
+		})
+	}
+}
+
+func renderFigure(t *testing.T, sc experiments.Scenario, kind SeriesKind) []byte {
+	t.Helper()
+	res, err := experiments.Run(sc)
+	if err != nil {
+		t.Fatalf("%s: %v", sc.Name, err)
+	}
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, res, kind); err != nil {
+		t.Fatalf("%s: WriteCSV: %v", sc.Name, err)
+	}
+	return buf.Bytes()
+}

@@ -34,7 +34,15 @@ type Source struct {
 	seq      int64
 	lastEmit time.Duration
 	emitted  bool // whether lastEmit is meaningful
-	pending  *sim.Event
+
+	// hid is the source's registered emission handler; gen is the
+	// generation its pending emission was scheduled with. Emission events
+	// ride the scheduler's pointer-free registered tier — nothing is
+	// allocated per packet — so instead of cancelling a superseded
+	// emission eagerly, SetRate/Stop bump gen and the stale event fires as
+	// a no-op.
+	hid sim.HandlerID
+	gen uint32
 }
 
 // SourceConfig parameterizes a Source.
@@ -58,7 +66,7 @@ func NewSource(sched *sim.Scheduler, cfg SourceConfig) *Source {
 	if size <= 0 {
 		size = packet.DefaultSizeBytes
 	}
-	return &Source{
+	s := &Source{
 		sched:     sched,
 		inject:    cfg.Inject,
 		pool:      cfg.Pool,
@@ -66,6 +74,8 @@ func NewSource(sched *sim.Scheduler, cfg SourceConfig) *Source {
 		dst:       cfg.Dst,
 		sizeBytes: size,
 	}
+	s.hid = sched.RegisterHandler(s.emitIfCurrent)
+	return s
 }
 
 // Flow reports the source's flow id.
@@ -117,19 +127,25 @@ func (s *Source) SetRate(rate float64) {
 			next = t
 		}
 	}
-	s.pending = s.sched.MustAt(next, s.emit)
+	s.sched.PostHandlerAt(next, s.hid, s.gen)
 }
 
-func (s *Source) cancelPending() {
-	if s.pending != nil {
-		s.pending.Cancel()
-		s.pending = nil
+// cancelPending supersedes the scheduled emission, if any: the generation
+// bump makes it fire as a no-op.
+func (s *Source) cancelPending() { s.gen++ }
+
+// emitIfCurrent is the registered emission handler; gen is the generation
+// the emission was scheduled with.
+func (s *Source) emitIfCurrent(gen uint32) {
+	s.sched.MarkHandler(sim.KindSource)
+	if gen != s.gen {
+		// Superseded by a SetRate/Stop after scheduling: a stale no-op.
+		return
 	}
+	s.emit()
 }
 
 func (s *Source) emit() {
-	s.sched.MarkHandler(sim.KindSource)
-	s.pending = nil
 	if !s.active || s.rate <= 0 {
 		return
 	}
@@ -143,7 +159,7 @@ func (s *Source) emit() {
 		s.Decorate(p)
 	}
 	s.inject(p)
-	s.pending = s.sched.MustAfter(s.gap(), s.emit)
+	s.sched.PostHandler(s.gap(), s.hid, s.gen)
 }
 
 // Interval is a half-open activity window [Start, Stop). A zero Stop means
