@@ -205,6 +205,25 @@ func BenchmarkFig10CSFQChurn(b *testing.B) {
 	reportFairness(b, sc, res)
 }
 
+// BenchmarkFigFairnessAtScale regenerates the first at-scale figure: 40
+// flows through a generated k=8 fat-tree under Corelite, mice/elephants
+// with 10% unresponsive sources. This is the heaviest packet-level figure
+// and the throughput anchor for the scenario-generation subsystem.
+func BenchmarkFigFairnessAtScale(b *testing.B) {
+	sc := corelite.FairnessAtScaleScenario(corelite.SchemeCorelite, 1)
+	res := runScenario(b, sc)
+	reportFairness(b, sc, res)
+}
+
+// BenchmarkFigChurnTail regenerates the churn reconvergence-tail figure:
+// 16 flows on a k=4 fat-tree with anti-phase heavy flows and a flash
+// crowd, measured over a 100s settle tail.
+func BenchmarkFigChurnTail(b *testing.B) {
+	sc := corelite.ChurnTailScenario(corelite.SchemeCorelite, 1)
+	res := runScenario(b, sc)
+	reportFairness(b, sc, res)
+}
+
 // --- Ablations (DESIGN.md §4) ---
 
 // benchSelector runs the Figure 5 scenario with the chosen marker

@@ -9,6 +9,8 @@
 //	coresim -scheme corelite -flows 10 -duration 80s -summary
 //	coresim -scheme csfq -flows 2 -dumbbell -weights 1:1,2:2 -out run
 //	coresim -flows 10 -runs 8 -parallel 4 -out batch
+//	coresim -topo fattree:k=8,flows=48 -traffic heavytail:unresp=0.1,urate=350 -backend flow -check
+//	coresim -topo nclouds:n=3,remark=1 -duration 120s -summary
 //
 // With -out PREFIX the tool writes PREFIX-allowed.csv,
 // PREFIX-received.csv and PREFIX-cumulative.csv (PREFIX-rN-… per replica
@@ -71,7 +73,8 @@ func run(args []string, stdout io.Writer) error {
 		weights  = fs.String("weights", "", "per-flow weights, e.g. 1:1,2:2,5:3 (default weight 1)")
 		defaultW = fs.Float64("default-weight", 1, "weight for flows not listed in -weights")
 		dumbbell = fs.Bool("dumbbell", false, "use a single-bottleneck dumbbell instead of the paper topology")
-		topo     = fs.String("topo", "", "topology spec file (overrides -flows/-dumbbell/-weights)")
+		topo     = fs.String("topo", "", "topology spec file, or a generator spec like fattree:k=8,flows=48 / nclouds:n=3,remark=1 / mesh:nodes=8 (overrides -flows/-dumbbell/-weights)")
+		traffic  = fs.String("traffic", "", "generated workload over a generated topology: uniform / heavytail:unresp=0.1,urate=350 / churn:heavy=0.25 (requires a generator -topo)")
 		sample   = fs.Duration("sample", time.Second, "measurement window")
 		out      = fs.String("out", "", "output file prefix for CSV series (empty = no CSV)")
 		traceOut = fs.String("trace", "", "write an ns-2-style packet event trace to this file")
@@ -144,12 +147,25 @@ func run(args []string, stdout io.Writer) error {
 		}
 		sc.Weights = w
 	}
-	if *topo != "" {
+	switch {
+	case *topo != "" && corelite.IsTopoGenSpec(*topo):
+		gen, err := corelite.ParseGenerate(*topo, *traffic)
+		if err != nil {
+			return err
+		}
+		sc.Generate = gen
+		sc.NumFlows = 0
+	case *topo != "":
+		if *traffic != "" {
+			return fmt.Errorf("-traffic needs a generator -topo (fattree/nclouds/mesh), not a spec file")
+		}
 		spec, err := topospec.ParseFile(*topo)
 		if err != nil {
 			return err
 		}
 		sc.Spec = spec
+	case *traffic != "":
+		return fmt.Errorf("-traffic needs a generator -topo (fattree/nclouds/mesh)")
 	}
 
 	var traceFile *os.File

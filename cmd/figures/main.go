@@ -1,6 +1,7 @@
 // Command figures regenerates the data behind every figure of the paper's
-// evaluation section (Figures 3–10) and writes one CSV per figure plus a
-// comparison summary. Figures are independent simulations, so the batch
+// evaluation section (Figures 3–10) — plus the generated at-scale figures
+// 11–14 (fat-tree fairness with unresponsive blasters, churn convergence
+// tails) — and writes one CSV per figure plus a comparison summary. Figures are independent simulations, so the batch
 // runs on a worker pool; output is byte-identical for any -parallel value
 // because results are keyed by figure, not by completion order.
 //
@@ -45,25 +46,38 @@ import (
 	"repro/internal/trace"
 )
 
-// figure binds a paper figure number to its scenario spec and the series
-// it plots.
+// figure binds a figure number to its scenario spec and the series it
+// plots. Numbers 3-10 are the paper's evaluation figures; 11-14 are the
+// generated at-scale figures (fat-tree topologies from internal/topogen,
+// workloads from internal/trafficgen). The slug names output files.
 type figure struct {
 	num      int
+	slug     string
 	kind     trace.SeriesKind
 	scenario func(int64) corelite.Scenario
 	legend   string
 }
 
+// atScale adapts the two-argument generated-figure constructors to the
+// seed-only signature the table uses.
+func atScale(f func(corelite.Scheme, int64) corelite.Scenario, scheme corelite.Scheme) func(int64) corelite.Scenario {
+	return func(seed int64) corelite.Scenario { return f(scheme, seed) }
+}
+
 func figures() []figure {
 	return []figure{
-		{3, corelite.SeriesAllowed, corelite.Fig3Scenario, "Corelite instantaneous rate, network dynamics (§4.1)"},
-		{4, corelite.SeriesCumulative, corelite.Fig4Scenario, "Corelite cumulative service, network dynamics (§4.1)"},
-		{5, corelite.SeriesAllowed, corelite.Fig5Scenario, "Corelite instantaneous rate, simultaneous start (§4.2)"},
-		{6, corelite.SeriesAllowed, corelite.Fig6Scenario, "CSFQ instantaneous rate, simultaneous start (§4.2)"},
-		{7, corelite.SeriesAllowed, corelite.Fig7Scenario, "Corelite instantaneous rate, staggered start (§4.3)"},
-		{8, corelite.SeriesAllowed, corelite.Fig8Scenario, "CSFQ instantaneous rate, staggered start (§4.3)"},
-		{9, corelite.SeriesAllowed, corelite.Fig9Scenario, "Corelite instantaneous rate, churn (§4.3)"},
-		{10, corelite.SeriesAllowed, corelite.Fig10Scenario, "CSFQ instantaneous rate, churn (§4.3)"},
+		{3, "fig3", corelite.SeriesAllowed, corelite.Fig3Scenario, "Corelite instantaneous rate, network dynamics (§4.1)"},
+		{4, "fig4", corelite.SeriesCumulative, corelite.Fig4Scenario, "Corelite cumulative service, network dynamics (§4.1)"},
+		{5, "fig5", corelite.SeriesAllowed, corelite.Fig5Scenario, "Corelite instantaneous rate, simultaneous start (§4.2)"},
+		{6, "fig6", corelite.SeriesAllowed, corelite.Fig6Scenario, "CSFQ instantaneous rate, simultaneous start (§4.2)"},
+		{7, "fig7", corelite.SeriesAllowed, corelite.Fig7Scenario, "Corelite instantaneous rate, staggered start (§4.3)"},
+		{8, "fig8", corelite.SeriesAllowed, corelite.Fig8Scenario, "CSFQ instantaneous rate, staggered start (§4.3)"},
+		{9, "fig9", corelite.SeriesAllowed, corelite.Fig9Scenario, "Corelite instantaneous rate, churn (§4.3)"},
+		{10, "fig10", corelite.SeriesAllowed, corelite.Fig10Scenario, "CSFQ instantaneous rate, churn (§4.3)"},
+		{11, "fairness-at-scale-corelite", corelite.SeriesReceived, atScale(corelite.FairnessAtScaleScenario, corelite.SchemeCorelite), "Corelite goodput, k=8 fat-tree, heavy-tailed + unresponsive (generated)"},
+		{12, "fairness-at-scale-csfq", corelite.SeriesReceived, atScale(corelite.FairnessAtScaleScenario, corelite.SchemeCSFQ), "CSFQ goodput, k=8 fat-tree, heavy-tailed + unresponsive (generated)"},
+		{13, "churn-tail-corelite", corelite.SeriesAllowed, atScale(corelite.ChurnTailScenario, corelite.SchemeCorelite), "Corelite instantaneous rate, k=4 fat-tree churn + flash crowd (generated)"},
+		{14, "churn-tail-csfq", corelite.SeriesAllowed, atScale(corelite.ChurnTailScenario, corelite.SchemeCSFQ), "CSFQ instantaneous rate, k=4 fat-tree churn + flash crowd (generated)"},
 	}
 }
 
@@ -86,22 +100,22 @@ func writeGnuplot(path string, fig figure, res *corelite.Result) error {
 	if fig.kind == corelite.SeriesCumulative {
 		ylabel = "packets delivered"
 	}
-	fmt.Fprintf(f, "# gnuplot script for paper figure %d\n", fig.num)
+	fmt.Fprintf(f, "# gnuplot script for figure %s\n", fig.slug)
 	fmt.Fprintf(f, "set datafile separator ','\n")
 	fmt.Fprintf(f, "set key outside right\n")
 	fmt.Fprintf(f, "set xlabel 'time in seconds'\n")
 	fmt.Fprintf(f, "set ylabel '%s'\n", ylabel)
 	fmt.Fprintf(f, "set title '%s'\n", fig.legend)
 	fmt.Fprintf(f, "set terminal pngcairo size 1000,600\n")
-	fmt.Fprintf(f, "set output 'fig%d.png'\n", fig.num)
+	fmt.Fprintf(f, "set output '%s.png'\n", fig.slug)
 	fmt.Fprint(f, "plot \\\n")
 	for i, fl := range res.Flows {
 		sep := ", \\\n"
 		if i == len(res.Flows)-1 {
 			sep = "\n"
 		}
-		fmt.Fprintf(f, "  'fig%d.csv' using 1:%d with lines title 'flow%d'%s",
-			fig.num, i+2, fl.Index, sep)
+		fmt.Fprintf(f, "  '%s.csv' using 1:%d with lines title 'flow%d'%s",
+			fig.slug, i+2, fl.Index, sep)
 	}
 	return nil
 }
@@ -127,7 +141,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	equeue := fs.String("equeue", "", "event queue for packet-backend runs: heap (default), calendar, or auto")
 	seed := fs.Int64("seed", 1, "random seed")
 	parallel := fs.Int("parallel", runtime.GOMAXPROCS(0), "concurrent figure runs (1 = serial)")
-	fs.Var(&figs, "fig", "figure number to regenerate (repeatable; default all)")
+	fs.Var(&figs, "fig", "figure number to regenerate: 3-10 paper, 11-14 generated at-scale (repeatable; default all)")
 	gnuplot := fs.Bool("gnuplot", false, "also write a gnuplot script per figure")
 	obsDir := fs.String("obs", "", "directory for per-figure control-plane telemetry (figN.events.jsonl, figN.series.csv, figN.trace.json, ...)")
 	progress := fs.Bool("progress", false, "print aggregated live progress (events/s, sim-time rate, active flows, ETA) to stderr every 2s")
@@ -166,7 +180,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 			})
 		}
 		jobs = append(jobs, corelite.Job{
-			Name:     fmt.Sprintf("fig%d", fig.num),
+			Name:     fig.slug,
 			Scenario: sc,
 		})
 	}
@@ -176,7 +190,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 			unknown = append(unknown, n)
 		}
 		sort.Ints(unknown)
-		return fmt.Errorf("unknown figure numbers %v (the paper has Figures 3-10)", unknown)
+		return fmt.Errorf("unknown figure numbers %v (figures 3-10 are the paper's, 11-14 the generated at-scale set)", unknown)
 	}
 
 	// Progress lines land on stderr in completion order; the per-figure
@@ -221,7 +235,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 			return fmt.Errorf("figure %d: %w", fig.num, r.Err)
 		}
 		res := r.Output
-		path := filepath.Join(*outdir, fmt.Sprintf("fig%d.csv", fig.num))
+		path := filepath.Join(*outdir, fig.slug+".csv")
 		f, err := os.Create(path)
 		if err != nil {
 			return err
@@ -234,7 +248,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 			return err
 		}
 		if *gnuplot {
-			gpPath := filepath.Join(*outdir, fmt.Sprintf("fig%d.gp", fig.num))
+			gpPath := filepath.Join(*outdir, fig.slug+".gp")
 			if err := writeGnuplot(gpPath, fig, res); err != nil {
 				return err
 			}
@@ -252,7 +266,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 			fmt.Fprintf(stdout, "           check: %d invariant checks passed\n", res.InvariantChecks)
 		}
 		if *obsDir != "" {
-			if _, err := r.Obs.WriteDir(*obsDir, fmt.Sprintf("fig%d.", fig.num)); err != nil {
+			if _, err := r.Obs.WriteDir(*obsDir, fig.slug+"."); err != nil {
 				return err
 			}
 			if tel := r.Stats.Telemetry; tel != nil {

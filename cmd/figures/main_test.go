@@ -27,8 +27,8 @@ func TestFigListFlag(t *testing.T) {
 
 func TestFiguresTable(t *testing.T) {
 	figs := figures()
-	if len(figs) != 8 {
-		t.Fatalf("figures() lists %d entries, want 8 (Figures 3-10)", len(figs))
+	if len(figs) != 12 {
+		t.Fatalf("figures() lists %d entries, want 12 (Figures 3-10 + at-scale 11-14)", len(figs))
 	}
 	want := 3
 	for _, f := range figs {
@@ -38,6 +38,15 @@ func TestFiguresTable(t *testing.T) {
 		want++
 		if f.scenario == nil || f.legend == "" {
 			t.Errorf("figure %d incomplete", f.num)
+		}
+		if f.slug == "" {
+			t.Errorf("figure %d has no output slug", f.num)
+		}
+	}
+	// The at-scale figures name their outputs by slug, not figN.
+	for _, f := range figs[8:] {
+		if !strings.Contains(f.slug, "-at-scale-") && !strings.Contains(f.slug, "churn-tail-") {
+			t.Errorf("figure %d slug %q is not an at-scale name", f.num, f.slug)
 		}
 	}
 }

@@ -9,6 +9,7 @@
 //
 //	fluid -capacity 500 -weights 1,1,2,2,3,3,4,4,5,5 -epochs 20000
 //	fluid -epochs 200000 -progress -obs out/obs
+//	fluid -topo fattree:k=4,flows=16 -traffic heavytail  # generated weight profile
 //
 // With -obs DIR the tool writes a telemetry bundle of the trajectory into
 // DIR (limd.-prefixed): per-flow rate/<i> gauge series sampled at every
@@ -31,6 +32,8 @@ import (
 	"repro/internal/flowsim"
 	"repro/internal/maxmin"
 	"repro/internal/obs"
+	"repro/internal/topogen"
+	"repro/internal/trafficgen"
 )
 
 func main() {
@@ -44,6 +47,9 @@ func run(args []string) error {
 	fs := flag.NewFlagSet("fluid", flag.ContinueOnError)
 	capacity := fs.Float64("capacity", 500, "bottleneck capacity (pkt/s)")
 	weightsArg := fs.String("weights", "1,1,2,2,3,3,4,4,5,5", "comma-separated flow weights")
+	topoArg := fs.String("topo", "", "derive the weight vector from a generated topology (fattree:k=8,flows=48 / nclouds:n=3 / mesh:nodes=8), overriding -weights")
+	trafficArg := fs.String("traffic", "", "generated workload laying weights over -topo's flow slots (uniform / heavytail:... / churn:...)")
+	seed := fs.Int64("seed", 1, "seed for -topo/-traffic generation")
 	initialArg := fs.String("initial", "", "comma-separated initial rates (default: all 32, the slow-start exit)")
 	epochs := fs.Int("epochs", 20000, "epochs to iterate")
 	sample := fs.Int("sample", 1000, "print every N-th state")
@@ -58,6 +64,15 @@ func run(args []string) error {
 	weights, err := parseFloats(*weightsArg)
 	if err != nil {
 		return fmt.Errorf("weights: %w", err)
+	}
+	if *topoArg != "" {
+		weights, err = generatedWeights(*topoArg, *trafficArg, *seed)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("generated %d flow weights from %s\n", len(weights), *topoArg)
+	} else if *trafficArg != "" {
+		return fmt.Errorf("-traffic needs a generated -topo (fattree/nclouds/mesh)")
 	}
 	var initial []float64
 	if *initialArg == "" {
@@ -137,6 +152,47 @@ func run(args []string) error {
 		return checkOracle(traj.Final(), weights, *capacity, *tol)
 	}
 	return nil
+}
+
+// generatedWeights expands a topogen (and optional trafficgen) spec and
+// returns the per-flow weight vector in flow-index order — the LIMD
+// recurrence models one shared bottleneck, so only the weight profile of
+// the generated scenario carries over, not its link structure.
+func generatedWeights(topoSpec, trafficSpec string, seed int64) ([]float64, error) {
+	cfg, err := topogen.Parse(topoSpec)
+	if err != nil {
+		return nil, err
+	}
+	spec, err := cfg.Generate(seed)
+	if err != nil {
+		return nil, err
+	}
+	weights := make([]float64, len(spec.Flows))
+	for i, f := range spec.Flows {
+		weights[i] = f.Weight
+	}
+	if trafficSpec != "" {
+		tc, err := trafficgen.Parse(trafficSpec)
+		if err != nil {
+			return nil, err
+		}
+		if tc.Horizon == 0 {
+			tc.Horizon = time.Minute
+		}
+		wl, err := tc.Generate(seed, len(spec.Flows))
+		if err != nil {
+			return nil, err
+		}
+		for i, f := range spec.Flows {
+			if w, ok := wl.Weights[f.Index]; ok {
+				weights[i] = w
+			}
+		}
+	}
+	if len(weights) == 0 {
+		return nil, fmt.Errorf("generated topology %q has no flows", topoSpec)
+	}
+	return weights, nil
 }
 
 // writeObsBundle exports the recorded trajectory as a standard telemetry

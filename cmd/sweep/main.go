@@ -9,6 +9,7 @@
 //	sweep -param epoch
 //	sweep -param latency -seed 3 -parallel 4
 //	sweep -param qthresh -obs out/obs    # + per-point telemetry bundles
+//	sweep -param epoch -topo fattree:k=4,flows=16 -traffic churn  # generated fabric
 //
 // With -obs DIR every sweep point captures control-plane telemetry and
 // writes a label-prefixed bundle (events JSONL/CSV, sampled gauge series,
@@ -41,6 +42,8 @@ func main() {
 func mainRun(args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("sweep", flag.ContinueOnError)
 	param := fs.String("param", "epoch", "parameter to sweep: epoch, qthresh, latency, k1")
+	topo := fs.String("topo", "", "sweep on a generated topology (fattree:k=8,flows=48 / nclouds:n=3 / mesh:nodes=8) instead of the Figure 5 scenario")
+	traffic := fs.String("traffic", "", "generated workload over -topo's flow slots (uniform / heavytail:... / churn:...)")
 	backend := fs.String("backend", "packet", "execution engine: packet (reference) or flow (fluid; note qthresh/latency/k1 are packet-level knobs the fluid model abstracts away)")
 	equeue := fs.String("equeue", "", "event queue for packet-backend runs: heap (default), calendar, or auto")
 	seed := fs.Int64("seed", 1, "random seed")
@@ -77,6 +80,23 @@ func mainRun(args []string, stdout, stderr io.Writer) error {
 
 	base := experiments.Fig5Scenario(*seed)
 	base.Duration = *duration
+	baseLabel := "Figure 5 scenario"
+	if *topo != "" {
+		gen, err := experiments.ParseGenerate(*topo, *traffic)
+		if err != nil {
+			return err
+		}
+		base = experiments.Scenario{
+			Name:     "sweep-generated",
+			Scheme:   experiments.SchemeCorelite,
+			Duration: *duration,
+			Seed:     *seed,
+			Generate: gen,
+		}
+		baseLabel = *topo
+	} else if *traffic != "" {
+		return fmt.Errorf("-traffic needs a generated -topo (fattree/nclouds/mesh)")
+	}
 	scs := experiments.SweepScenarios(base, points)
 	for i := range scs {
 		scs[i].EventQueue = *equeue
@@ -119,7 +139,7 @@ func mainRun(args []string, stdout, stderr io.Writer) error {
 		return err
 	}
 
-	fmt.Fprintf(stdout, "sensitivity sweep over %s (Figure 5 scenario, %v, seed %d)\n\n", *param, *duration, *seed)
+	fmt.Fprintf(stdout, "sensitivity sweep over %s (%s, %v, seed %d)\n\n", *param, baseLabel, *duration, *seed)
 	fmt.Fprintf(stdout, "%-16s %-10s %-12s %-8s %-12s %-10s\n",
 		"point", "losses", "loss-ratio", "jain", "worst-conv", "converged")
 	for i, res := range results {

@@ -54,8 +54,10 @@ import (
 	"repro/internal/packet"
 	"repro/internal/run"
 	"repro/internal/sim"
+	"repro/internal/topogen"
 	"repro/internal/topology"
 	"repro/internal/topospec"
+	"repro/internal/trafficgen"
 	"repro/internal/trace"
 	"repro/internal/workload"
 )
@@ -139,6 +141,16 @@ type (
 	// flow backend (Scenario.Chain) — the scale playground for
 	// thousand-node, ten-thousand-flow runs.
 	ChainTopology = experiments.ChainTopology
+	// Generate describes a parametrically generated scenario
+	// (Scenario.Generate): a topogen topology plus an optional trafficgen
+	// workload over its flow slots.
+	Generate = experiments.Generate
+	// TopoGenConfig parameterizes the topology generators (fat-tree,
+	// N-cloud concatenation, random mesh).
+	TopoGenConfig = topogen.Config
+	// TrafficGenConfig parameterizes the workload generators (uniform,
+	// heavy-tailed mice/elephants, churn + flash crowd).
+	TrafficGenConfig = trafficgen.Config
 )
 
 // Backends.
@@ -342,6 +354,22 @@ func ParseTopology(r io.Reader) (*TopologySpec, error) { return topospec.Parse(r
 // ParseTopologyFile reads a custom cloud description from a file.
 func ParseTopologyFile(path string) (*TopologySpec, error) { return topospec.ParseFile(path) }
 
+// Scenario generation (packages internal/topogen, internal/trafficgen):
+// parametric topologies and workloads for at-scale runs.
+var (
+	// ParseTopoGen reads the topology-generator CLI grammar
+	// ("fattree:k=8,flows=48", "nclouds:n=3,remark=1", "mesh:nodes=8").
+	ParseTopoGen = topogen.Parse
+	// IsTopoGenSpec reports whether a -topo argument is a generator spec
+	// rather than a topology file path.
+	IsTopoGenSpec = topogen.IsSpec
+	// ParseTrafficGen reads the workload-generator CLI grammar
+	// ("heavytail:unresp=0.1,urate=350", "churn:heavy=0.25").
+	ParseTrafficGen = trafficgen.Parse
+	// ParseGenerate combines both grammars into a Scenario.Generate block.
+	ParseGenerate = experiments.ParseGenerate
+)
+
 // ExpectedRatesAt solves the weighted max-min oracle for the flows active
 // at time t under the scenario's schedule.
 func ExpectedRatesAt(sc Scenario, t time.Duration) (map[int]float64, error) {
@@ -369,6 +397,15 @@ var (
 	RunFig8  = experiments.RunFig8
 	RunFig9  = experiments.RunFig9
 	RunFig10 = experiments.RunFig10
+
+	// FairnessAtScaleScenario / ChurnTailScenario are the generated
+	// at-scale figures: a k=8 fat-tree under a heavy-tailed workload with
+	// unresponsive blasters, and a k=4 fat-tree under churn plus a flash
+	// crowd (take a Scheme, so each yields a Corelite and a CSFQ figure).
+	FairnessAtScaleScenario = experiments.FairnessAtScaleScenario
+	ChurnTailScenario       = experiments.ChurnTailScenario
+	RunFairnessAtScale      = experiments.RunFairnessAtScale
+	RunChurnTail            = experiments.RunChurnTail
 
 	// AllFigures enumerates the figure scenarios.
 	AllFigures = experiments.AllFigures
@@ -413,7 +450,8 @@ func RunBatch(ctx context.Context, parallel int, jobs []Job) ([]JobResult, error
 	return NewPool(PoolConfig{Workers: parallel}).Execute(ctx, jobs)
 }
 
-// FigureJobs returns the full Figures 3-10 evaluation batch as pool jobs.
+// FigureJobs returns the full figure evaluation batch as pool jobs:
+// Figures 3-10 of the paper plus the generated at-scale figures.
 func FigureJobs(seed int64) []Job {
 	return JobsFromScenarios(AllFigures(seed)...)
 }

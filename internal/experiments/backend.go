@@ -93,7 +93,10 @@ type ChainTopology struct {
 // The scenario is normalized and validated here, backend-neutrally; the
 // selected engine does the rest.
 func Run(sc Scenario) (*Result, error) {
-	sc = sc.normalize()
+	sc, err := sc.normalize()
+	if err != nil {
+		return nil, err
+	}
 	if err := sc.Validate(); err != nil {
 		return nil, err
 	}

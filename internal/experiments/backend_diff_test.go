@@ -48,7 +48,10 @@ func TestBackendDifferentialFigures(t *testing.T) {
 				t.Errorf("flow backend ran no invariant checks")
 			}
 
-			norm := sc.normalize()
+			norm, err := sc.normalize()
+			if err != nil {
+				t.Fatalf("normalize: %v", err)
+			}
 			cloud, err := buildCloud(norm, sim.NewScheduler())
 			if err != nil {
 				t.Fatalf("build cloud: %v", err)

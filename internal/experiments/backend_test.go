@@ -91,7 +91,11 @@ func TestValidateChain(t *testing.T) {
 		sc.NumFlows = 0
 		sc.Backend = BackendFlow
 		sc.Chain = &ChainTopology{Cores: 5, Flows: 10}
-		return sc.normalize()
+		norm, err := sc.normalize()
+		if err != nil {
+			t.Fatalf("normalize: %v", err)
+		}
+		return norm
 	}
 
 	if err := chain().Validate(); err != nil {

@@ -75,6 +75,11 @@ func checkFairness(sc Scenario, cloud *topology.Cloud, res *Result) {
 		if !active[f.Index] || sc.Transports[f.Index] == TransportTCP {
 			continue
 		}
+		if _, unresp := sc.Unresponsive[f.Index]; unresp {
+			// Unresponsive flows are not trying to be fair; the residual
+			// judges only the responsive flows sharing the remainder.
+			continue
+		}
 		exp, found := expected[f.Index]
 		if !found {
 			continue

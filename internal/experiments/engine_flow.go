@@ -165,10 +165,11 @@ func buildFlowModel(sc Scenario) (*flowModel, error) {
 			links = append(links, li)
 		}
 		if err := m.AddFlow(flowsim.Flow{
-			Index:   pl.Index,
-			Weight:  pl.Weight,
-			MinRate: sc.MinRates[pl.Index],
-			Links:   links,
+			Index:       pl.Index,
+			Weight:      pl.Weight,
+			MinRate:     sc.MinRates[pl.Index],
+			FixedDemand: sc.Unresponsive[pl.Index],
+			Links:       links,
 		}); err != nil {
 			return nil, err
 		}
@@ -226,10 +227,11 @@ func buildChainModel(sc Scenario) (*flowModel, error) {
 			weight = float64(1 + (idx-1)%5)
 		}
 		if err := m.AddFlow(flowsim.Flow{
-			Index:   idx,
-			Weight:  weight,
-			MinRate: sc.MinRates[idx],
-			Links:   links,
+			Index:       idx,
+			Weight:      weight,
+			MinRate:     sc.MinRates[idx],
+			FixedDemand: sc.Unresponsive[idx],
+			Links:       links,
 		}); err != nil {
 			return nil, err
 		}
@@ -272,8 +274,25 @@ func flowExpectedRates(sc Scenario, fm *flowModel, active map[int]bool) (map[int
 		p.Capacity[l.Name] = l.Capacity
 	}
 	mins := make(map[string]float64)
+	out := make(map[int]float64, len(fm.model.Flows))
 	for _, f := range fm.model.Flows {
 		if active != nil && !active[f.Index] {
+			continue
+		}
+		if f.FixedDemand > 0 && sc.Scheme == SchemeCorelite {
+			// Unresponsive under Corelite: the FIFO core cannot police the
+			// blast, so it takes its offered rate off the top of every
+			// link it crosses. (Under CSFQ it is policed to its weighted
+			// share and stays an ordinary member of the problem.)
+			for _, li := range f.Links {
+				name := fm.model.Links[li].Name
+				c := p.Capacity[name] - f.FixedDemand
+				if c < 0 {
+					c = 0
+				}
+				p.Capacity[name] = c
+			}
+			out[f.Index] = f.FixedDemand
 			continue
 		}
 		links := make([]string, len(f.Links))
@@ -290,9 +309,11 @@ func flowExpectedRates(sc Scenario, fm *flowModel, active map[int]bool) (map[int
 	if err != nil {
 		return nil, err
 	}
-	out := make(map[int]float64, len(alloc))
 	for _, f := range fm.model.Flows {
 		if active != nil && !active[f.Index] {
+			continue
+		}
+		if _, done := out[f.Index]; done {
 			continue
 		}
 		out[f.Index] = alloc[strconv.Itoa(f.Index)]
@@ -318,6 +339,9 @@ func checkFairnessFlows(sc Scenario, fm *flowModel, res *Result) {
 	for i := range res.Flows {
 		f := &res.Flows[i]
 		if !active[f.Index] {
+			continue
+		}
+		if _, unresp := sc.Unresponsive[f.Index]; unresp {
 			continue
 		}
 		exp, found := expected[f.Index]

@@ -18,8 +18,10 @@ import (
 	"repro/internal/obs"
 	"repro/internal/packet"
 	"repro/internal/sim"
+	"repro/internal/topogen"
 	"repro/internal/topology"
 	"repro/internal/topospec"
+	"repro/internal/trafficgen"
 	"repro/internal/workload"
 )
 
@@ -100,6 +102,17 @@ type Scenario struct {
 	// worries about (§2.2, §3.1). The oracle subtracts each stream's mean
 	// rate from its link's capacity when computing expected rates.
 	Cross []CrossTraffic
+	// Unresponsive maps flow index -> constant blast rate in pkt/s for
+	// flows that bypass edge shaping and ignore congestion feedback
+	// entirely (the end-host misbehavior the paper's CSFQ comparison cares
+	// about). Under Corelite the FIFO core cannot police them: the blast
+	// takes its offered rate off the top of every link it crosses and the
+	// oracle expects the responsive flows to share the residual. Under
+	// CSFQ the blast is injected carrying its rate label and the cores
+	// police it down to its weighted fair share; pick blast rates above
+	// that share or the (demand-cap-free) oracle will overestimate it.
+	// Either way the flow is excluded from the fairness residual.
+	Unresponsive map[int]float64
 
 	// SampleWindow is the measurement bin for the output series (0 → 1s,
 	// the paper's plotting granularity).
@@ -126,6 +139,14 @@ type Scenario struct {
 	// description instead of the built-in topologies; NumFlows, Weights
 	// and per-flow contracts are taken from the spec.
 	Spec *topospec.Spec
+
+	// Generate, when non-nil, builds the topology — and optionally the
+	// workload — parametrically at normalization time (fat-trees, N-cloud
+	// concatenations, meshes; heavy-tailed or churning traffic). It
+	// expands into Spec/Schedules/Unresponsive before validation, so
+	// generated scenarios run through exactly the same engine paths as
+	// hand-written ones. Conflicts with Spec/Chain/Dumbbell.
+	Generate *Generate
 
 	// Chain, when non-nil, generates a synthetic chain topology instead
 	// of the built-in or spec topologies (flow backend only — the chain
@@ -196,6 +217,49 @@ func (c CrossTraffic) MeanRate() float64 {
 		return c.Rate
 	}
 	return c.Rate * float64(c.MeanOn) / float64(total)
+}
+
+// Generate describes a parametrically generated scenario: a topogen
+// topology plus an optional trafficgen workload laid over its flow slots.
+// Both are pure functions of (config, Scenario.Seed), so a generated
+// scenario replays and parallelizes exactly like a hand-written one.
+type Generate struct {
+	// Topo generates the topology spec (fattree/nclouds/mesh).
+	Topo topogen.Config
+	// Traffic, when non-nil, generates per-flow weights, activity
+	// schedules and the unresponsive-flow set over the generated flow
+	// slots; generated weights replace the spec's, and explicit
+	// Scenario.Schedules/Unresponsive entries override generated ones.
+	// Its Horizon defaults to the scenario duration.
+	Traffic *trafficgen.Config
+}
+
+// ParseGenerate builds a Generate block from the CLI grammars — a topogen
+// spec ("fattree:k=8,flows=48") plus an optional trafficgen spec
+// ("heavytail:unresp=0.1,urate=350"). An empty topo spec with an empty
+// traffic spec yields nil (no generation); a traffic spec without a
+// generated topology is an error, since the workload models lay cohorts
+// over generated flow slots.
+func ParseGenerate(topo, traffic string) (*Generate, error) {
+	if topo == "" {
+		if traffic != "" {
+			return nil, fmt.Errorf("traffic generator %q needs a generated topology (fattree/nclouds/mesh)", traffic)
+		}
+		return nil, nil
+	}
+	tc, err := topogen.Parse(topo)
+	if err != nil {
+		return nil, err
+	}
+	g := &Generate{Topo: tc}
+	if traffic != "" {
+		wc, err := trafficgen.Parse(traffic)
+		if err != nil {
+			return nil, err
+		}
+		g.Traffic = &wc
+	}
+	return g, nil
 }
 
 // FlowResult carries everything measured for one flow.
@@ -310,15 +374,61 @@ func buildCloud(sc Scenario, sched *sim.Scheduler) (*topology.Cloud, error) {
 	return topology.Paper(sched, opts)
 }
 
-// normalize folds a custom spec's flow set into the scenario fields so the
-// rest of the harness (schedules, contracts, oracle) sees one consistent
-// description.
-func (sc Scenario) normalize() Scenario {
+// normalize expands a parametric Generate into its spec and workload, then
+// folds the spec's flow set into the scenario fields so the rest of the
+// harness (schedules, contracts, oracle) sees one consistent description.
+func (sc Scenario) normalize() (Scenario, error) {
+	if sc.Generate != nil {
+		if sc.Spec != nil || sc.Chain != nil || sc.Dumbbell {
+			return sc, fmt.Errorf("experiments: Generate conflicts with Spec/Chain/Dumbbell")
+		}
+		spec, err := sc.Generate.Topo.Generate(sc.Seed)
+		if err != nil {
+			return sc, err
+		}
+		if tc := sc.Generate.Traffic; tc != nil {
+			cfg := *tc
+			if cfg.Horizon == 0 {
+				cfg.Horizon = sc.Duration
+			}
+			wl, err := cfg.Generate(sc.Seed, len(spec.Flows))
+			if err != nil {
+				return sc, err
+			}
+			for i := range spec.Flows {
+				if w, ok := wl.Weights[spec.Flows[i].Index]; ok {
+					spec.Flows[i].Weight = w
+				}
+			}
+			if len(wl.Schedules) > 0 {
+				merged := make(map[int]workload.Schedule, len(wl.Schedules)+len(sc.Schedules))
+				for idx, s := range wl.Schedules {
+					merged[idx] = s
+				}
+				// Explicit scenario entries override generated ones.
+				for idx, s := range sc.Schedules {
+					merged[idx] = s
+				}
+				sc.Schedules = merged
+			}
+			if len(wl.Unresponsive) > 0 {
+				merged := make(map[int]float64, len(wl.Unresponsive)+len(sc.Unresponsive))
+				for idx, r := range wl.Unresponsive {
+					merged[idx] = r
+				}
+				for idx, r := range sc.Unresponsive {
+					merged[idx] = r
+				}
+				sc.Unresponsive = merged
+			}
+		}
+		sc.Spec = spec
+	}
 	if sc.Chain != nil && sc.NumFlows == 0 {
 		sc.NumFlows = sc.Chain.Flows
 	}
 	if sc.Spec == nil {
-		return sc
+		return sc, nil
 	}
 	sc.NumFlows = len(sc.Spec.Flows)
 	sc.Weights = sc.Spec.Weights()
@@ -329,7 +439,7 @@ func (sc Scenario) normalize() Scenario {
 	if len(mins) > 0 {
 		sc.MinRates = mins
 	}
-	return sc
+	return sc, nil
 }
 
 // Validate checks scenario consistency.
@@ -340,7 +450,7 @@ func (sc Scenario) Validate() error {
 	if sc.Duration <= 0 {
 		return fmt.Errorf("experiments: non-positive duration %v", sc.Duration)
 	}
-	if sc.NumFlows <= 0 && sc.Spec == nil {
+	if sc.NumFlows <= 0 && sc.Spec == nil && sc.Generate == nil {
 		return fmt.Errorf("experiments: non-positive NumFlows %d", sc.NumFlows)
 	}
 	if len(sc.MinRates) > 0 && sc.Scheme != SchemeCorelite {
@@ -359,6 +469,36 @@ func (sc Scenario) Validate() error {
 	for idx, tr := range sc.Transports {
 		if tr == TransportTCP && sc.Scheme != SchemeCorelite {
 			return fmt.Errorf("experiments: flow %d: TCP transport requires the Corelite scheme", idx)
+		}
+	}
+	for idx, r := range sc.Unresponsive {
+		if r <= 0 {
+			return fmt.Errorf("experiments: unresponsive flow %d needs a positive blast rate, got %g", idx, r)
+		}
+		if sc.MinRates[idx] > 0 {
+			return fmt.Errorf("experiments: unresponsive flow %d cannot carry a rate contract", idx)
+		}
+		if sc.Transports[idx] == TransportTCP {
+			return fmt.Errorf("experiments: unresponsive flow %d cannot use the TCP transport", idx)
+		}
+		if sc.NumFlows > 0 && (idx < 1 || idx > sc.NumFlows) {
+			return fmt.Errorf("experiments: unresponsive flow index %d out of range [1, %d]", idx, sc.NumFlows)
+		}
+	}
+	if sc.Spec != nil {
+		for _, f := range sc.Spec.Flows {
+			if len(f.Relays) == 0 {
+				continue
+			}
+			if sc.Scheme != SchemeCorelite {
+				return fmt.Errorf("experiments: flow %d: re-marking relays require the Corelite scheme", f.Index)
+			}
+			if sc.Transports[f.Index] == TransportTCP {
+				return fmt.Errorf("experiments: flow %d: re-marking relays cannot combine with the TCP transport", f.Index)
+			}
+			if _, u := sc.Unresponsive[f.Index]; u {
+				return fmt.Errorf("experiments: flow %d: re-marking relays cannot apply to an unresponsive flow", f.Index)
+			}
 		}
 	}
 	if sc.Backend != BackendPacket && sc.Backend != BackendFlow {
@@ -466,7 +606,13 @@ func (packetEngine) Run(sc Scenario) (*Result, error) {
 
 	rec := metrics.NewFlowRecorder(sc.SampleWindow)
 
-	// Per-flow bookkeeping.
+	// Per-flow bookkeeping. relaySeg is one re-marking segment of an
+	// N-cloud through flow: a shaped slot on a gateway's Corelite edge that
+	// re-shapes the flow into the next cloud's control domain.
+	type relaySeg struct {
+		edge  *core.Edge
+		local int
+	}
 	type flowRef struct {
 		placement topology.Placement
 		agent     edgeAgent
@@ -474,14 +620,73 @@ func (packetEngine) Run(sc Scenario) (*Result, error) {
 		id        packet.FlowID
 		allowed   metrics.Series
 		tcp       *host.Sender
+		src       *workload.Source // raw unresponsive blaster (agent == nil)
+		blast     float64
+		relays    []relaySeg
 	}
 	refs := make([]*flowRef, 0, len(cloud.Placements))
 	edgesByName := make(map[string]edgeAgent, len(cloud.Placements))
 	coreliteEdges := make(map[string]*core.Edge)
 	csfqEdges := make(map[string]*csfq.Edge)
 
+	// remap translates relay-segment flow ids back to the ingress id the
+	// recorder tracks; origID applies it.
+	remap := make(map[packet.FlowID]packet.FlowID)
+	origID := func(id packet.FlowID) packet.FlowID {
+		if orig, ok := remap[id]; ok {
+			return orig
+		}
+		return id
+	}
+	recApp := deliverApp(func(p *packet.Packet) {
+		rec.Deliver(origID(p.Flow), net.Now())
+	})
+
+	// relayRoutes dispatches packets arriving at a re-marking gateway: the
+	// incoming segment's flow id selects the shaped slot that carries the
+	// flow onward and the next segment's destination.
+	type relayHop struct {
+		edge  *core.Edge
+		local int
+		next  string
+	}
+	relayRoutes := make(map[packet.FlowID]relayHop)
+	relayEdges := make(map[string]*core.Edge)
+	relayApp := deliverApp(func(p *packet.Packet) {
+		hop, ok := relayRoutes[p.Flow]
+		if !ok {
+			return
+		}
+		// Re-offer a fresh copy: the delivered packet returns to the pool,
+		// and the copy carries no marker or label — the next cloud's edge
+		// re-marks it under its own control loop.
+		q := net.PacketPool().Get(p.Flow, hop.next, p.Seq, net.Now())
+		q.SizeBytes = p.SizeBytes
+		_, _ = hop.edge.Offer(hop.local, q)
+	})
+
 	for _, pl := range cloud.Placements {
 		node := net.Node(pl.Ingress)
+		if rate, unresp := sc.Unresponsive[pl.Index]; unresp {
+			// Unresponsive blaster: a raw CBR source injected at the
+			// ingress node, bypassing the edge entirely. Under CSFQ it
+			// carries the label a CSFQ edge would converge to for a CBR
+			// source (rate/weight), so the cores police it; under Corelite
+			// it is unmarked and the FIFO cores cannot.
+			src := workload.NewSource(sched, workload.SourceConfig{
+				Flow:   packet.FlowID{Edge: pl.Ingress, Local: pl.Index},
+				Dst:    pl.Egress,
+				Inject: node.Inject,
+				Pool:   net.PacketPool(),
+			})
+			if sc.Scheme == SchemeCSFQ {
+				label := rate / pl.Weight
+				src.Decorate = func(p *packet.Packet) { p.Label = label }
+			}
+			net.Node(pl.Egress).SetApp(recApp)
+			refs = append(refs, &flowRef{placement: pl, id: src.Flow(), src: src, blast: rate})
+			continue
+		}
 		var agent edgeAgent
 		var local int
 		var tcpSender *host.Sender
@@ -498,7 +703,14 @@ func (packetEngine) Run(sc Scenario) (*Result, error) {
 				}
 				tcpSender, err = wireTCP(sc, net, e, local, pl, rec)
 			} else {
-				local, err = e.AddFlowContract(pl.Egress, pl.Weight, sc.MinRates[pl.Index])
+				dst := pl.Egress
+				if len(pl.Relays) > 0 {
+					// Re-marked flows address one control segment at a
+					// time: the ingress edge sends toward the first
+					// gateway.
+					dst = pl.Relays[0]
+				}
+				local, err = e.AddFlowContract(dst, pl.Weight, sc.MinRates[pl.Index])
 			}
 		case SchemeCSFQ:
 			e := csfq.NewEdge(net, node, sc.CSFQEdgeConfig)
@@ -514,11 +726,40 @@ func (packetEngine) Run(sc Scenario) (*Result, error) {
 			return nil, err
 		}
 		edgesByName[pl.Ingress] = agent
-		refs = append(refs, &flowRef{placement: pl, agent: agent, local: local, id: id, tcp: tcpSender})
+		ref := &flowRef{placement: pl, agent: agent, local: local, id: id, tcp: tcpSender}
+		if len(pl.Relays) > 0 && sc.Scheme == SchemeCorelite {
+			prevID := id
+			for ri, gw := range pl.Relays {
+				re, ok := relayEdges[gw]
+				if !ok {
+					re = core.NewEdge(net, net.Node(gw), sc.EdgeConfig)
+					relayEdges[gw] = re
+					coreliteEdges[gw] = re
+					sc.Check.ObserveEdge(re)
+					net.Node(gw).SetApp(relayApp)
+					re.Start()
+				}
+				seg, err := re.AddShapedFlow(pl.Weight, sc.MinRates[pl.Index], 0)
+				if err != nil {
+					return nil, fmt.Errorf("flow %d relay %s: %w", pl.Index, gw, err)
+				}
+				next := pl.Egress
+				if ri+1 < len(pl.Relays) {
+					next = pl.Relays[ri+1]
+				}
+				relayRoutes[prevID] = relayHop{edge: re, local: seg, next: next}
+				segID, err := re.FlowID(seg)
+				if err != nil {
+					return nil, err
+				}
+				remap[segID] = id
+				prevID = segID
+				ref.relays = append(ref.relays, relaySeg{edge: re, local: seg})
+			}
+		}
+		refs = append(refs, ref)
 		if tcpSender == nil {
-			net.Node(pl.Egress).SetApp(deliverApp(func(p *packet.Packet) {
-				rec.Deliver(p.Flow, net.Now())
-			}))
+			net.Node(pl.Egress).SetApp(recApp)
 		}
 		agent.Start()
 	}
@@ -550,9 +791,10 @@ func (packetEngine) Run(sc Scenario) (*Result, error) {
 			sc.Check.ObserveRouter(r)
 			r.Start()
 		}
-		// Corelite drops (should not happen in the loss-free scenarios)
-		// are still recorded.
-		net.OnDrop(func(d netem.Drop) { rec.Lose(d.Packet.Flow) })
+		// Corelite drops (expected only under unresponsive blasts) are
+		// still recorded, attributed to the originating flow even when
+		// they happen on a relay segment.
+		net.OnDrop(func(d netem.Drop) { rec.Lose(origID(d.Packet.Flow)) })
 	case SchemeCSFQ:
 		for _, name := range coreNodes {
 			csfq.NewRouter(net, net.Node(name), sc.CSFQRouterConfig, rng.Stream("router-"+name))
@@ -590,6 +832,32 @@ func (packetEngine) Run(sc Scenario) (*Result, error) {
 	// Flow activity schedule.
 	for _, ref := range refs {
 		ref := ref
+		startFlow := func() {
+			if ref.src != nil {
+				ref.src.Start(ref.blast)
+				return
+			}
+			_ = ref.agent.StartFlow(ref.local)
+			for _, rs := range ref.relays {
+				_ = rs.edge.StartFlow(rs.local)
+			}
+			if ref.tcp != nil {
+				ref.tcp.Start()
+			}
+		}
+		stopFlow := func() {
+			if ref.src != nil {
+				ref.src.Stop()
+				return
+			}
+			_ = ref.agent.StopFlow(ref.local)
+			for _, rs := range ref.relays {
+				_ = rs.edge.StopFlow(rs.local)
+			}
+			if ref.tcp != nil {
+				ref.tcp.Stop()
+			}
+		}
 		for _, iv := range scheduleOf(sc, ref.placement.Index) {
 			stop := iv.Stop
 			if stop == 0 || stop > sc.Duration {
@@ -598,19 +866,9 @@ func (packetEngine) Run(sc Scenario) (*Result, error) {
 			if iv.Start >= stop {
 				continue
 			}
-			sched.MustAt(iv.Start, func() {
-				_ = ref.agent.StartFlow(ref.local)
-				if ref.tcp != nil {
-					ref.tcp.Start()
-				}
-			})
+			sched.MustAt(iv.Start, startFlow)
 			if stop < sc.Duration {
-				sched.MustAt(stop, func() {
-					_ = ref.agent.StopFlow(ref.local)
-					if ref.tcp != nil {
-						ref.tcp.Stop()
-					}
-				})
+				sched.MustAt(stop, stopFlow)
 			}
 		}
 	}
@@ -622,9 +880,15 @@ func (packetEngine) Run(sc Scenario) (*Result, error) {
 		now := net.Now()
 		rec.Flush(now)
 		for _, ref := range refs {
-			rate, err := ref.agent.AllowedRate(ref.local)
-			if err != nil {
-				rate = 0
+			var rate float64
+			if ref.src != nil {
+				// Unresponsive flows have no allowed rate; report the
+				// offered blast while the source is on.
+				if ref.src.Active() {
+					rate = ref.blast
+				}
+			} else if r, err := ref.agent.AllowedRate(ref.local); err == nil {
+				rate = r
 			}
 			ref.allowed = append(ref.allowed, metrics.Sample{At: now, Value: rate})
 		}
@@ -703,7 +967,10 @@ func (packetEngine) Run(sc Scenario) (*Result, error) {
 // ExpectedRatesAt solves the max-min oracle for the flows active at time t
 // under the scenario's schedule (the paper's per-phase expected values).
 func ExpectedRatesAt(sc Scenario, t time.Duration) (map[int]float64, error) {
-	sc = sc.normalize()
+	sc, err := sc.normalize()
+	if err != nil {
+		return nil, err
+	}
 	sched := sim.NewScheduler()
 	cloud, err := buildCloud(sc, sched)
 	if err != nil {
@@ -724,10 +991,11 @@ func ExpectedRatesAt(sc Scenario, t time.Duration) (map[int]float64, error) {
 }
 
 // expectedRates runs the weighted max-min oracle for the scenario,
-// accounting for minimum rate contracts and the mean load of unresponsive
-// cross traffic.
+// accounting for minimum rate contracts, the mean load of unresponsive
+// cross traffic, and unresponsive flows (whose treatment is per scheme:
+// Corelite cannot police them, CSFQ can — see Scenario.Unresponsive).
 func expectedRates(sc Scenario, cloud *topology.Cloud, active map[int]bool) (map[int]float64, error) {
-	if len(sc.Cross) == 0 {
+	if len(sc.Cross) == 0 && len(sc.Unresponsive) == 0 {
 		return cloud.ExpectedRatesWithMinimums(active, sc.MinRates)
 	}
 	p := cloud.MaxMinProblem(active)
@@ -738,6 +1006,38 @@ func expectedRates(sc Scenario, cloud *topology.Cloud, active map[int]bool) (map
 		p.Capacity[ct.Link] -= ct.MeanRate()
 		if p.Capacity[ct.Link] < 0 {
 			p.Capacity[ct.Link] = 0
+		}
+	}
+	fixed := make(map[int]float64)
+	if len(sc.Unresponsive) > 0 && sc.Scheme == SchemeCorelite {
+		plByIdx := make(map[int]topology.Placement, len(cloud.Placements))
+		for _, pl := range cloud.Placements {
+			plByIdx[pl.Index] = pl
+		}
+		for idx, rate := range sc.Unresponsive {
+			if active != nil && !active[idx] {
+				continue
+			}
+			pl, ok := plByIdx[idx]
+			if !ok {
+				return nil, fmt.Errorf("experiments: unresponsive flow %d has no placement", idx)
+			}
+			// The FIFO core cannot police the blast: it takes its offered
+			// rate off the top of every link it crosses and leaves the
+			// residual to the responsive flows. (Under CSFQ the blast is
+			// labeled and policed, so it simply stays a weighted member of
+			// the problem.)
+			for _, name := range pl.CoreLinks {
+				if c, ok := p.Capacity[name]; ok {
+					c -= rate
+					if c < 0 {
+						c = 0
+					}
+					p.Capacity[name] = c
+				}
+			}
+			delete(p.Flows, fmt.Sprintf("%d", idx))
+			fixed[idx] = rate
 		}
 	}
 	mins := make(map[string]float64, len(sc.MinRates))
@@ -754,6 +1054,9 @@ func expectedRates(sc Scenario, cloud *topology.Cloud, active map[int]bool) (map
 	out := make(map[int]float64, len(alloc))
 	for idx := range activeOrAll(sc, active) {
 		out[idx] = alloc[fmt.Sprintf("%d", idx)]
+	}
+	for idx, rate := range fixed {
+		out[idx] = rate
 	}
 	return out, nil
 }

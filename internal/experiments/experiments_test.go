@@ -196,8 +196,8 @@ func TestFigureScenarioShapes(t *testing.T) {
 		!s3.ActiveAt(70*time.Second, f9.Duration) {
 		t.Errorf("fig9 schedule wrong: %+v", s3)
 	}
-	if got := len(AllFigures(1)); got != 8 {
-		t.Errorf("AllFigures returned %d scenarios, want 8 (Figures 3-10)", got)
+	if got := len(AllFigures(1)); got != 12 {
+		t.Errorf("AllFigures returned %d scenarios, want 12 (Figures 3-10 plus the four generated at-scale figures)", got)
 	}
 	if AllFigures(1)[1].Name != Fig4Scenario(1).Name {
 		t.Errorf("AllFigures missing the Figure 4 spec")
@@ -232,5 +232,34 @@ func TestTransportString(t *testing.T) {
 	// the public API stays stable.
 	if TransportBacklogged != 0 || TransportTCP != 1 {
 		t.Error("transport constants changed")
+	}
+}
+
+func TestParseGenerate(t *testing.T) {
+	if g, err := ParseGenerate("", ""); g != nil || err != nil {
+		t.Errorf("empty specs: got %+v, %v; want nil, nil", g, err)
+	}
+	if _, err := ParseGenerate("", "heavytail"); err == nil {
+		t.Error("traffic without a generated topology accepted")
+	}
+	g, err := ParseGenerate("fattree:k=4,flows=8", "")
+	if err != nil {
+		t.Fatalf("topo-only: %v", err)
+	}
+	if g == nil || g.Topo.K != 4 || g.Traffic != nil {
+		t.Errorf("topo-only generate = %+v", g)
+	}
+	g, err = ParseGenerate("nclouds:n=3,through=2", "churn:period=10s")
+	if err != nil {
+		t.Fatalf("topo+traffic: %v", err)
+	}
+	if g.Topo.Clouds != 3 || g.Traffic == nil || g.Traffic.ChurnPeriod != 10*time.Second {
+		t.Errorf("topo+traffic generate = %+v", g)
+	}
+	if _, err := ParseGenerate("torus:k=4", ""); err == nil {
+		t.Error("bad topology spec accepted")
+	}
+	if _, err := ParseGenerate("mesh:nodes=6", "tsunami:x=1"); err == nil {
+		t.Error("bad traffic spec accepted")
 	}
 }

@@ -3,7 +3,9 @@ package experiments
 import (
 	"time"
 
+	"repro/internal/topogen"
 	"repro/internal/topology"
+	"repro/internal/trafficgen"
 	"repro/internal/workload"
 )
 
@@ -164,9 +166,72 @@ func RunFig9(seed int64) (*Result, error) { return Run(Fig9Scenario(seed)) }
 // RunFig10 regenerates Figure 10 (CSFQ under churn).
 func RunFig10(seed int64) (*Result, error) { return Run(Fig10Scenario(seed)) }
 
+// FairnessAtScaleScenario returns the at-scale fairness figure: a k=8
+// fat-tree (80 switches) carrying 40 flows under a heavy-tailed
+// mice/elephants workload where 10% of the flows are unresponsive
+// blasters that ignore all feedback. It is the generated-scenario
+// counterpart of the paper's unresponsive-source discussion: Corelite's
+// FIFO core cannot police the blasts (the responsive flows share the
+// residual capacity, nearly loss-free), while CSFQ polices the labeled
+// blasts down to their fair share at the cost of sustained drops.
+func FairnessAtScaleScenario(scheme Scheme, seed int64) Scenario {
+	return Scenario{
+		Name:       "fairness-at-scale-" + scheme.String(),
+		Scheme:     scheme,
+		Duration:   110 * time.Second,
+		Seed:       seed,
+		EventQueue: "auto",
+		Generate: &Generate{
+			Topo: topogen.Config{Kind: topogen.KindFatTree, K: 8, Flows: 40},
+			Traffic: &trafficgen.Config{
+				Kind: trafficgen.KindHeavyTail,
+				// 350 pkt/s per blast: below the 500 pkt/s fabric links it
+				// crosses, well above any weight-1 fair share on them.
+				UnresponsiveFrac: 0.1,
+				UnresponsiveRate: 350,
+			},
+		},
+	}
+}
+
+// RunFairnessAtScale regenerates the at-scale fairness figure.
+func RunFairnessAtScale(scheme Scheme, seed int64) (*Result, error) {
+	return Run(FairnessAtScaleScenario(scheme, seed))
+}
+
+// ChurnTailScenario returns the convergence-tail figure: a k=4 fat-tree
+// with a churning heavy-weight cohort (anti-phase on/off cycling) plus a
+// flash crowd arriving together mid-run. The interesting output is the
+// allocation trajectory after each membership change — how long the tail
+// of each convergence transient is — with the final steady window pinned
+// by the fairness residual.
+func ChurnTailScenario(scheme Scheme, seed int64) Scenario {
+	return Scenario{
+		Name:       "churn-tail-" + scheme.String(),
+		Scheme:     scheme,
+		Duration:   200 * time.Second,
+		Seed:       seed,
+		EventQueue: "auto",
+		Generate: &Generate{
+			Topo: topogen.Config{Kind: topogen.KindFatTree, K: 4, Flows: 16},
+			// The 100s settle tail is the measured quantity: restarted
+			// flows ramp from zero under LIMD's additive increase
+			// (~7 pkt/s per second here), so the tail must hold the full
+			// reconvergence transient plus the fairness window.
+			Traffic: &trafficgen.Config{Kind: trafficgen.KindChurn, Settle: 100 * time.Second},
+		},
+	}
+}
+
+// RunChurnTail regenerates the convergence-tail figure.
+func RunChurnTail(scheme Scheme, seed int64) (*Result, error) {
+	return Run(ChurnTailScenario(scheme, seed))
+}
+
 // AllFigures enumerates the figure scenarios in order — one spec per
 // figure of §4, including Figure 4's separately named rerun of the
-// Figure 3 simulation (its cumulative-service view).
+// Figure 3 simulation (its cumulative-service view), followed by the
+// generated at-scale figures.
 func AllFigures(seed int64) []Scenario {
 	return []Scenario{
 		Fig3Scenario(seed),
@@ -177,6 +242,10 @@ func AllFigures(seed int64) []Scenario {
 		Fig8Scenario(seed),
 		Fig9Scenario(seed),
 		Fig10Scenario(seed),
+		FairnessAtScaleScenario(SchemeCorelite, seed),
+		FairnessAtScaleScenario(SchemeCSFQ, seed),
+		ChurnTailScenario(SchemeCorelite, seed),
+		ChurnTailScenario(SchemeCSFQ, seed),
 	}
 }
 
@@ -190,6 +259,16 @@ func AllFigures(seed int64) []Scenario {
 // carries shaper and queue dynamics. Measured worst residuals at seed 1:
 // fig3/4 7.0%, fig5 1.3%, fig6 2.8%, fig7 18.8%, fig8 4.3%, fig9 18.0%,
 // fig10 4.8%.
+//
+// The churn-tail figures measure the reconvergence tail itself, so their
+// tolerances are calibrated to the tail each scheme actually leaves after
+// the 100s settle window (worst residual across both backends at seed 1):
+// Corelite's fluid LIMD ramp is the slow one — restarted flows climb
+// additively while the flows holding their excess see no congestion signal
+// until the ramp completes (worst 36% on the flow backend; the packet
+// backend is clean at 5%) — whereas CSFQ's label-driven policing
+// reconverges within 10%. The gap between the two entries is the figure's
+// headline result.
 func FigureFairnessTol(name string) float64 {
 	switch name {
 	case "fig3-corelite-dynamics", "fig4-corelite-cumulative":
@@ -198,6 +277,10 @@ func FigureFairnessTol(name string) float64 {
 		return 0.25
 	case "fig8-csfq-staggered", "fig10-csfq-churn":
 		return 0.08
+	case "churn-tail-corelite":
+		return 0.45
+	case "churn-tail-csfq":
+		return 0.15
 	default:
 		return 0.05
 	}

@@ -92,3 +92,23 @@ func TestFig5LateThrottling(t *testing.T) {
 		}
 	}
 }
+
+// TestAtScaleRunners exercises the at-scale convenience wrappers end to
+// end: both generated figures must expand, run, and report per-flow
+// results for every generated slot.
+func TestAtScaleRunners(t *testing.T) {
+	fair, err := RunFairnessAtScale(SchemeCorelite, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(fair.Flows); got != FairnessAtScaleScenario(SchemeCorelite, 1).Generate.Topo.Flows {
+		t.Errorf("fairness-at-scale flows = %d, want %d", got, FairnessAtScaleScenario(SchemeCorelite, 1).Generate.Topo.Flows)
+	}
+	tail, err := RunChurnTail(SchemeCorelite, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(tail.Flows); got != 16 {
+		t.Errorf("churn-tail flows = %d, want 16", got)
+	}
+}

@@ -237,6 +237,7 @@ type engine struct {
 	alloc *allocator
 
 	active  []bool
+	fixed   []bool    // unresponsive flows (Flow.FixedDemand > 0)
 	demand  []float64 // controller allowed rates
 	cur     []float64 // achieved water-filling rates
 	ctrl    []*adapt.Controller
@@ -299,12 +300,39 @@ func Run(cfg Config) (*Output, error) {
 			len(cfg.Schedules), len(cfg.Model.Flows))
 	}
 
+	// Unresponsive flows under the marker control ride the allocator's
+	// contract-floor machinery: a FIFO core cannot police traffic that
+	// bypasses edge shaping, so the fixed demand is pre-allocated off the
+	// top exactly like a contracted floor and responsive flows water-fill
+	// the remainder. The loss control leaves FixedDemand as an ordinary
+	// demand cap — CSFQ's per-label policing holds the flow to its
+	// weighted share. The model copy keeps the caller's Model untouched.
+	alnModel := cfg.Model
+	anyFixed := false
+	for i := range cfg.Model.Flows {
+		if cfg.Model.Flows[i].FixedDemand > 0 {
+			anyFixed = true
+			break
+		}
+	}
+	if anyFixed && cfg.Control == ControlMarker {
+		m2 := *cfg.Model
+		m2.Flows = append([]Flow(nil), cfg.Model.Flows...)
+		for i := range m2.Flows {
+			if m2.Flows[i].FixedDemand > 0 {
+				m2.Flows[i].MinRate = m2.Flows[i].FixedDemand
+			}
+		}
+		alnModel = &m2
+	}
+
 	n := len(cfg.Model.Flows)
 	e := &engine{
 		cfg:       cfg,
-		m:         cfg.Model,
-		alloc:     newAllocator(cfg.Model),
+		m:         alnModel,
+		alloc:     newAllocator(alnModel),
 		active:    make([]bool, n),
+		fixed:     make([]bool, n),
 		demand:    make([]float64, n),
 		cur:       make([]float64, n),
 		ctrl:      make([]*adapt.Controller, n),
@@ -321,6 +349,7 @@ func Run(cfg Config) (*Output, error) {
 		ac := cfg.Adapt
 		ac.MinRate = cfg.Model.Flows[i].MinRate
 		e.ctrl[i] = adapt.NewController(ac)
+		e.fixed[i] = cfg.Model.Flows[i].FixedDemand > 0
 	}
 	e.attachObs()
 	cfg.Progress.SetHorizon(cfg.Horizon)
@@ -392,7 +421,9 @@ func (e *engine) run() {
 		switch ev.prio {
 		case prioDeparture:
 			i := int(ev.flow)
-			e.ctrl[i].Stop()
+			if !e.fixed[i] {
+				e.ctrl[i].Stop()
+			}
 			e.active[i] = false
 			e.demand[i] = 0
 			e.fb[i] = 0
@@ -400,9 +431,15 @@ func (e *engine) run() {
 			dirty = true
 		case prioArrival:
 			i := int(ev.flow)
-			e.ctrl[i].Start(ev.at)
 			e.active[i] = true
-			e.demand[i] = e.ctrl[i].Rate()
+			if e.fixed[i] {
+				// Unresponsive: the demand is pinned; no slow-start, no
+				// controller.
+				e.demand[i] = e.cfg.Model.Flows[i].FixedDemand
+			} else {
+				e.ctrl[i].Start(ev.at)
+				e.demand[i] = e.ctrl[i].Rate()
+			}
 			e.fb[i] = 0
 			e.nActive++
 			dirty = true
@@ -466,7 +503,9 @@ func (e *engine) advance(t time.Duration) {
 			continue
 		}
 		e.cum[i] += e.cur[i] * dt
-		if loss {
+		// Unresponsive flows keep blasting at their fixed demand under
+		// either scheme, so whatever the allocation does not carry is lost.
+		if loss || e.fixed[i] {
 			if excess := e.demand[i] - e.cur[i]; excess > 0 {
 				e.lost[i] += excess * dt
 			}
@@ -538,7 +577,8 @@ func (e *engine) epoch(now time.Duration) {
 	}
 	anyInd := false
 	for i, on := range e.active {
-		if !on {
+		if !on || e.fixed[i] {
+			// Unresponsive flows ignore feedback: their demand never moves.
 			continue
 		}
 		var ind float64
@@ -583,7 +623,11 @@ func (e *engine) flush(t time.Duration) {
 	window := e.cfg.SampleWindow.Seconds()
 	for i := range e.out.Flows {
 		f := &e.out.Flows[i]
-		f.Allowed = append(f.Allowed, metrics.Sample{At: t, Value: e.ctrl[i].Rate()})
+		allowed := e.ctrl[i].Rate()
+		if e.fixed[i] {
+			allowed = e.demand[i] // pinned while active, zero otherwise
+		}
+		f.Allowed = append(f.Allowed, metrics.Sample{At: t, Value: allowed})
 		f.Rate = append(f.Rate, metrics.Sample{At: t, Value: (e.cum[i] - e.cumPrev[i]) / window})
 		f.Cumulative = append(f.Cumulative, metrics.Sample{At: t, Value: e.cum[i]})
 		e.cumPrev[i] = e.cum[i]

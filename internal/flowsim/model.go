@@ -31,6 +31,15 @@ type Flow struct {
 	// MinRate is the minimum rate contract floor in pkt/s (0 = best
 	// effort).
 	MinRate float64
+	// FixedDemand, when > 0, marks the flow unresponsive: its demand is
+	// pinned at this rate in pkt/s and the control loop never steps it.
+	// Under ControlMarker (Corelite, whose core is FIFO and cannot police
+	// traffic that bypasses edge shaping) the flow takes its full offered
+	// rate off the top and responsive flows water-fill the remainder;
+	// under ControlLoss (CSFQ, which polices by label) it joins the
+	// weighted water-fill and its excess is dropped. Either way the
+	// undelivered excess accrues as Lost.
+	FixedDemand float64
 	// Links holds indices into Model.Links, in path order.
 	Links []int
 }
@@ -88,6 +97,12 @@ func (m *Model) AddFlow(f Flow) error {
 	}
 	if f.MinRate < 0 {
 		return fmt.Errorf("flowsim: flow %d has negative minimum rate %g", f.Index, f.MinRate)
+	}
+	if f.FixedDemand < 0 {
+		return fmt.Errorf("flowsim: flow %d has negative fixed demand %g", f.Index, f.FixedDemand)
+	}
+	if f.FixedDemand > 0 && f.MinRate > 0 {
+		return fmt.Errorf("flowsim: flow %d is unresponsive and cannot carry a rate contract", f.Index)
 	}
 	if len(f.Links) == 0 {
 		return fmt.Errorf("flowsim: flow %d crosses no links", f.Index)

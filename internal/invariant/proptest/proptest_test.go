@@ -10,8 +10,10 @@ import (
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/invariant"
 	"repro/internal/maxmin"
 	"repro/internal/run"
+	"repro/internal/topogen"
 	"repro/internal/topospec"
 	"repro/internal/trace"
 )
@@ -50,6 +52,54 @@ func TestRandomScenariosHoldInvariants(t *testing.T) {
 				for idx, rate := range res.ExpectedFullSet {
 					if rate <= 0 {
 						t.Errorf("%s: oracle rate for flow %d = %g, want > 0", scheme, idx, rate)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestGeneratedTopologiesHoldInvariants extends the random-topology
+// property to the parametric generators: randomized fat-tree, N-cloud,
+// and mesh configs expand through Scenario.Generate, and every
+// structural invariant must hold for both schemes on the expanded
+// fabric. Re-marking relays are Corelite-only, so the N-cloud config
+// drops them under CSFQ.
+func TestGeneratedTopologiesHoldInvariants(t *testing.T) {
+	for seed := int64(1); seed <= 3; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			t.Parallel()
+			rng := rand.New(rand.NewSource(seed))
+			cfgs := []topogen.Config{
+				{Kind: topogen.KindFatTree, K: 4, Flows: 2 + rng.Intn(6)},
+				{Kind: topogen.KindNClouds, Clouds: 2 + rng.Intn(2), CoresPerCloud: 2 + rng.Intn(2),
+					Through: 1 + rng.Intn(2), Local: 1 + rng.Intn(2), Remark: true},
+				{Kind: topogen.KindMesh, Nodes: 4 + rng.Intn(4), Degree: 2, Flows: 2 + rng.Intn(4)},
+			}
+			for _, cfg := range cfgs {
+				for _, scheme := range []experiments.Scheme{experiments.SchemeCorelite, experiments.SchemeCSFQ} {
+					cfg := cfg
+					if scheme != experiments.SchemeCorelite {
+						cfg.Remark = false
+					}
+					sc := experiments.Scenario{
+						Name:     fmt.Sprintf("proptest-gen-%s-%s-%d", cfg.Kind, scheme, seed),
+						Scheme:   scheme,
+						Seed:     seed,
+						Duration: time.Duration(4+rng.Intn(4)) * time.Second,
+						Generate: &experiments.Generate{Topo: cfg},
+						Check:    invariant.New(invariant.Config{Every: 500 * time.Millisecond}),
+					}
+					res, err := experiments.Run(sc)
+					if err != nil {
+						t.Fatalf("%s/%s: run: %v", cfg.Kind, scheme, err)
+					}
+					for _, v := range res.Violations {
+						t.Errorf("%s/%s: violation: %s", cfg.Kind, scheme, v)
+					}
+					if res.InvariantChecks == 0 {
+						t.Fatalf("%s/%s: checker ran zero checks", cfg.Kind, scheme)
 					}
 				}
 			}

@@ -417,6 +417,96 @@ func (n *Network) dijkstra(src string) (map[string]time.Duration, map[string]str
 	return out, firstHop, nil
 }
 
+// InstallNeighborRoutes fills every node's forwarding state and the
+// control-plane latency cache for its direct neighbors only: packets
+// addressed to an adjacent node take the connecting link. It is the cheap
+// alternative to ComputeRoutes for topologies whose every multi-hop path is
+// pinned explicitly with InstallRoute (generated fat-trees route thousands
+// of flows without an all-pairs shortest-path pass). Call it after topology
+// construction; InstallRoute calls layer multi-hop state on top.
+func (n *Network) InstallNeighborRoutes() {
+	for _, l := range n.links {
+		l.from.nextHop[l.to.name] = l.to.name
+		if len(l.from.outByID) < len(n.order)+1 {
+			grown := make([]*Link, len(n.order)+1)
+			copy(grown, l.from.outByID)
+			l.from.outByID = grown
+		}
+		l.from.outByID[l.to.id] = l
+		n.pathDelay[[2]string{l.from.name, l.to.name}] = l.delay
+	}
+}
+
+// InstallRoute pins the forwarding state for the destination path[len-1]
+// along the explicit node sequence path: every earlier node on the path
+// forwards packets for that destination to its successor, regardless of
+// what ComputeRoutes would have chosen. This is how generated topologies
+// realize deterministic ECMP-style path selection — the generator picks a
+// core switch per flow and installs the full waypoint chain toward the
+// flow's (unique) egress host.
+//
+// The control-plane latency cache learns every ordered pair along the
+// sequence: forward pairs always, reverse pairs whenever the reverse links
+// exist (duplex wiring), so feedback from any on-path router back to the
+// flow's ingress edge travels with faithful timing even when ComputeRoutes
+// never ran. Consecutive nodes must be directly linked in the forward
+// direction. Installing a second route toward the same destination
+// overwrites the first, so callers keep one pinned flow per egress node.
+func (n *Network) InstallRoute(path []string) error {
+	if len(path) < 2 {
+		return fmt.Errorf("netem: route needs at least two nodes, got %d", len(path))
+	}
+	hops := make([]*Link, len(path)-1)
+	seen := make(map[string]bool, len(path))
+	for i, name := range path {
+		node := n.nodes[name]
+		if node == nil {
+			return fmt.Errorf("netem: route references unknown node %q", name)
+		}
+		if seen[name] {
+			return fmt.Errorf("netem: route visits node %q twice", name)
+		}
+		seen[name] = true
+		if i+1 < len(path) {
+			l := node.links[path[i+1]]
+			if l == nil {
+				return fmt.Errorf("netem: route hop %s->%s has no link", name, path[i+1])
+			}
+			hops[i] = l
+		}
+	}
+	dst := n.nodes[path[len(path)-1]]
+	for i := 0; i+1 < len(path); i++ {
+		node := n.nodes[path[i]]
+		node.nextHop[dst.name] = path[i+1]
+		if len(node.outByID) < len(n.order)+1 {
+			grown := make([]*Link, len(n.order)+1)
+			copy(grown, node.outByID)
+			node.outByID = grown
+		}
+		node.outByID[dst.id] = hops[i]
+	}
+	// Latency cache: forward pairs from the pinned links, reverse pairs from
+	// the reverse links where present.
+	for i := 0; i < len(path); i++ {
+		fwd := time.Duration(0)
+		for j := i + 1; j < len(path); j++ {
+			fwd += hops[j-1].delay
+			n.pathDelay[[2]string{path[i], path[j]}] = fwd
+		}
+		rev := time.Duration(0)
+		for j := i - 1; j >= 0; j-- {
+			back := n.nodes[path[j+1]].links[path[j]]
+			if back == nil {
+				break
+			}
+			rev += back.delay
+			n.pathDelay[[2]string{path[i], path[j]}] = rev
+		}
+	}
+	return nil
+}
+
 // Path reports the routed node sequence from -> ... -> to (inclusive). It
 // requires ComputeRoutes to have run.
 func (n *Network) Path(from, to string) ([]string, error) {

@@ -49,17 +49,42 @@ func ParseQueueKind(s string) (QueueKind, error) {
 	}
 }
 
+// QueueOption adjusts the queue implementation built by NewSchedulerKind.
+// Options for a different kind than the one selected are ignored, so a
+// caller can set calendar geometry unconditionally and still switch kinds.
+type QueueOption func(*queueConfig)
+
+type queueConfig struct {
+	calWidth   Time
+	calBuckets int
+}
+
+// WithCalendarGeometry overrides the calendar queue's bucket width and
+// bucket count (one rotation covers width×buckets of simulated time).
+// Non-positive values keep the respective default (1ms × 256). Geometry is
+// a performance knob only: every geometry yields the same event order.
+func WithCalendarGeometry(width Time, buckets int) QueueOption {
+	return func(c *queueConfig) {
+		c.calWidth = width
+		c.calBuckets = buckets
+	}
+}
+
 // NewSchedulerKind returns an empty scheduler backed by the given queue
 // implementation. An unknown kind panics: kinds reach here via
 // ParseQueueKind or the exported constants, so anything else is a
 // programming error.
-func NewSchedulerKind(k QueueKind) *Scheduler {
+func NewSchedulerKind(k QueueKind, opts ...QueueOption) *Scheduler {
+	var cfg queueConfig
+	for _, o := range opts {
+		o(&cfg)
+	}
 	s := &Scheduler{kind: k}
 	switch k {
 	case QueueHeap:
 		// s.heap's zero value is ready.
 	case QueueCalendar:
-		s.alt = newCalendarQueue(s, defaultCalendarWidth, defaultCalendarBuckets)
+		s.alt = newCalendarQueue(s, cfg.calWidth, cfg.calBuckets)
 	default:
 		panic(fmt.Sprintf("sim: NewSchedulerKind(%v)", k))
 	}

@@ -65,6 +65,10 @@ type Placement struct {
 	CoreLinks []string
 	// Hops is the one-way hop count (for RTT bookkeeping).
 	Hops int
+	// Relays names edge nodes along the path where the flow is re-shaped
+	// into a fresh control segment (N-cloud concatenation boundaries).
+	// Empty for single-cloud flows.
+	Relays []string
 }
 
 // RTT reports the flow's round-trip propagation time in the paper topology.

@@ -1,10 +1,12 @@
-package topospec
+package topospec_test
 
 import (
 	"strings"
 	"testing"
 
 	"repro/internal/sim"
+	"repro/internal/topogen"
+	"repro/internal/topospec"
 )
 
 // FuzzTopoSpec throws arbitrary text at the topology parser. The contract
@@ -22,8 +24,21 @@ func FuzzTopoSpec(f *testing.F) {
 	f.Add("node A edge\nnode B core\nlink A B 1Gbps 0ms queue=1\nlink A B 2Mbps 1ms\n")
 	f.Add("bogus directive here\n")
 	f.Add("node A edge\nnode B edge\nlink A B 0.5Mbps 1ms queue=999999\nflow 0 A B minrate=1kbps weight=3\nflow 1 B A\n")
+	// Generator outputs: the fuzzer mutates realistic large specs (via
+	// paths, relays, host tiers) rather than only hand-written toys.
+	for _, genSpec := range []string{"fattree:k=4,flows=6", "nclouds:n=3,through=2,local=1,remark=1", "mesh:nodes=6,flows=4"} {
+		cfg, err := topogen.Parse(genSpec)
+		if err != nil {
+			f.Fatalf("corpus generator %q: %v", genSpec, err)
+		}
+		spec, err := cfg.Generate(1)
+		if err != nil {
+			f.Fatalf("corpus generator %q: %v", genSpec, err)
+		}
+		f.Add(spec.Format())
+	}
 	f.Fuzz(func(t *testing.T, input string) {
-		spec, err := Parse(strings.NewReader(input))
+		spec, err := topospec.Parse(strings.NewReader(input))
 		if err != nil {
 			return
 		}

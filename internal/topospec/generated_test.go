@@ -1,0 +1,141 @@
+package topospec_test
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/topogen"
+	"repro/internal/topospec"
+)
+
+func genFatTree(t *testing.T) *topospec.Spec {
+	t.Helper()
+	cfg := topogen.Config{Kind: topogen.KindFatTree, K: 4, Flows: 6}
+	spec, err := cfg.Generate(1)
+	if err != nil {
+		t.Fatalf("generate fat-tree: %v", err)
+	}
+	return spec
+}
+
+// TestValidateCorruptedGenerated corrupts generator output in the ways a
+// buggy generator most plausibly would and checks Validate names the
+// damage. The generators promise Validate-clean specs; these tests pin the
+// safety net that holds if that promise breaks.
+func TestValidateCorruptedGenerated(t *testing.T) {
+	t.Run("disconnected via path", func(t *testing.T) {
+		spec := genFatTree(t)
+		// Drop every link that the first flow's first fabric hop uses:
+		// its via path now names a hop with no connecting link.
+		from, to := spec.Flows[0].Via[0], spec.Flows[0].Via[1]
+		kept := spec.Links[:0]
+		for _, l := range spec.Links {
+			if !(l.From == from && l.To == to) {
+				kept = append(kept, l)
+			}
+		}
+		spec.Links = kept
+		err := spec.Validate()
+		if err == nil || !strings.Contains(err.Error(), "has no link (disconnected path)") {
+			t.Errorf("Validate = %v, want a disconnected-path error", err)
+		}
+	})
+
+	t.Run("zero-capacity tier", func(t *testing.T) {
+		spec := genFatTree(t)
+		for i := range spec.Links {
+			if strings.HasPrefix(spec.Links[i].From, "cs") || strings.HasPrefix(spec.Links[i].To, "cs") {
+				spec.Links[i].RateBps = 0 // kill the core tier
+			}
+		}
+		err := spec.Validate()
+		if err == nil || !strings.Contains(err.Error(), "needs a positive rate") {
+			t.Errorf("Validate = %v, want a positive-rate error", err)
+		}
+	})
+
+	t.Run("duplicate host wiring", func(t *testing.T) {
+		spec := genFatTree(t)
+		// Rewire flow 2 onto flow 1's path wholesale: two flows entering
+		// the fabric through one access link breaks the per-flow edge
+		// marking model.
+		spec.Flows[1].Ingress = spec.Flows[0].Ingress
+		spec.Flows[1].Egress = spec.Flows[0].Egress
+		spec.Flows[1].Via = append([]string(nil), spec.Flows[0].Via...)
+		err := spec.Validate()
+		if err == nil || !strings.Contains(err.Error(), "share via ingress") {
+			t.Errorf("Validate = %v, want a shared-ingress error", err)
+		}
+	})
+
+	t.Run("relay off the via path", func(t *testing.T) {
+		cfg := topogen.Config{Kind: topogen.KindNClouds, Clouds: 3, CoresPerCloud: 3, Through: 2, Local: 1, Remark: true}
+		spec, err := cfg.Generate(1)
+		if err != nil {
+			t.Fatalf("generate nclouds: %v", err)
+		}
+		spec.Flows[0].Relays[0] = "nowhere"
+		verr := spec.Validate()
+		if verr == nil || !strings.Contains(verr.Error(), "is not on the via path") {
+			t.Errorf("Validate = %v, want an off-path relay error", verr)
+		}
+	})
+}
+
+// TestGeneratedRoundTrip pins Format/Parse as an identity over generator
+// output: the CLI writes generated specs to disk with Format, and a spec
+// that can't survive its own serialization would corrupt every saved
+// scenario.
+func TestGeneratedRoundTrip(t *testing.T) {
+	for _, genSpec := range []string{"fattree:k=4,flows=6", "nclouds:n=3,through=2,local=2,remark=1", "mesh:nodes=8,degree=3,flows=6"} {
+		cfg, err := topogen.Parse(genSpec)
+		if err != nil {
+			t.Fatalf("%s: %v", genSpec, err)
+		}
+		spec, err := cfg.Generate(42)
+		if err != nil {
+			t.Fatalf("%s: %v", genSpec, err)
+		}
+		reparsed, err := topospec.Parse(strings.NewReader(spec.Format()))
+		if err != nil {
+			t.Fatalf("%s: reparse of Format output: %v", genSpec, err)
+		}
+		if got, want := reparsed.Format(), spec.Format(); got != want {
+			t.Errorf("%s: Format/Parse round trip not a fixed point", genSpec)
+		}
+	}
+}
+
+// TestParseFileRoundTrip writes a generated spec to disk and reads it
+// back through the file entry point.
+func TestParseFileRoundTrip(t *testing.T) {
+	spec := genFatTree(t)
+	path := filepath.Join(t.TempDir(), "fat.spec")
+	if err := os.WriteFile(path, []byte(spec.Format()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := topospec.ParseFile(path)
+	if err != nil {
+		t.Fatalf("ParseFile: %v", err)
+	}
+	if got.Format() != spec.Format() {
+		t.Error("ParseFile round trip changed the spec")
+	}
+	if _, err := topospec.ParseFile(filepath.Join(t.TempDir(), "missing.spec")); err == nil {
+		t.Error("ParseFile accepted a missing file")
+	}
+}
+
+func TestNodeRoleString(t *testing.T) {
+	for role, want := range map[topospec.NodeRole]string{
+		topospec.RoleEdge:    "edge",
+		topospec.RoleCore:    "core",
+		topospec.NodeRole(9): "unknown",
+	} {
+		if got := role.String(); got != want {
+			t.Errorf("NodeRole(%d).String() = %q, want %q", int(role), got, want)
+		}
+	}
+}

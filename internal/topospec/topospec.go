@@ -87,6 +87,19 @@ type FlowSpec struct {
 	// MinRate is the minimum rate contract in packets/second (0 = best
 	// effort).
 	MinRate float64
+	// Via, when non-empty, pins the flow's complete hop-by-hop path:
+	// Via[0] must be the ingress, the last element the egress, and every
+	// consecutive pair directly linked. Generators use it to realize
+	// deterministic ECMP-style path selection (the chosen core switch is
+	// baked into the spec, not re-derived at build time). Build installs
+	// the chain as a route override toward the flow's egress, so no two
+	// via-pinned flows may share an ingress or egress node.
+	Via []string
+	// Relays names edge nodes on the via path where the flow is
+	// re-shaped into a fresh control segment (N-cloud concatenation:
+	// each cloud's boundary re-marks the flow). Requires Via; packet
+	// backend + Corelite only.
+	Relays []string
 }
 
 // Spec is a parsed topology description.
@@ -233,6 +246,14 @@ func (s *Spec) parseFlow(line int, args []string) error {
 		if !ok {
 			return errAt(line, "bad flow option %q", opt)
 		}
+		switch k {
+		case "via":
+			f.Via = strings.Split(v, ":")
+			continue
+		case "relay":
+			f.Relays = strings.Split(v, ":")
+			continue
+		}
 		val, err := strconv.ParseFloat(v, 64)
 		if err != nil {
 			return errAt(line, "bad value in %q", opt)
@@ -292,6 +313,7 @@ func (s *Spec) Validate() error {
 		}
 		roles[n.Name] = n.Role
 	}
+	haveLink := make(map[[2]string]bool, len(s.Links))
 	for _, l := range s.Links {
 		if roles[l.From] == 0 {
 			return fmt.Errorf("topospec: link references unknown node %q", l.From)
@@ -299,11 +321,22 @@ func (s *Spec) Validate() error {
 		if roles[l.To] == 0 {
 			return fmt.Errorf("topospec: link references unknown node %q", l.To)
 		}
+		if l.RateBps <= 0 {
+			return fmt.Errorf("topospec: link %s->%s needs a positive rate", l.From, l.To)
+		}
+		if l.Delay < 0 {
+			return fmt.Errorf("topospec: link %s->%s has negative delay", l.From, l.To)
+		}
+		haveLink[[2]string{l.From, l.To}] = true
 	}
 	seen := make(map[int]bool, len(s.Flows))
 	if len(s.Flows) == 0 {
 		return fmt.Errorf("topospec: no flows declared")
 	}
+	// Via-pinned flows install route overrides keyed by their endpoint
+	// nodes, so endpoint hosts must be uniquely wired across them.
+	viaIn := make(map[string]int)
+	viaOut := make(map[string]int)
 	for _, f := range s.Flows {
 		if seen[f.Index] {
 			return fmt.Errorf("topospec: duplicate flow index %d", f.Index)
@@ -314,6 +347,50 @@ func (s *Spec) Validate() error {
 		}
 		if roles[f.Egress] != RoleEdge {
 			return fmt.Errorf("topospec: flow %d egress %q is not an edge node", f.Index, f.Egress)
+		}
+		if len(f.Relays) > 0 && len(f.Via) == 0 {
+			return fmt.Errorf("topospec: flow %d declares relays without a via path", f.Index)
+		}
+		if len(f.Via) == 0 {
+			continue
+		}
+		if f.Via[0] != f.Ingress || f.Via[len(f.Via)-1] != f.Egress {
+			return fmt.Errorf("topospec: flow %d via path must run ingress -> egress (%s -> %s)", f.Index, f.Ingress, f.Egress)
+		}
+		if len(f.Via) < 2 {
+			return fmt.Errorf("topospec: flow %d via path needs at least two nodes", f.Index)
+		}
+		onPath := make(map[string]bool, len(f.Via))
+		for i, name := range f.Via {
+			if roles[name] == 0 {
+				return fmt.Errorf("topospec: flow %d via references unknown node %q", f.Index, name)
+			}
+			if onPath[name] {
+				return fmt.Errorf("topospec: flow %d via path visits %q twice", f.Index, name)
+			}
+			onPath[name] = true
+			if i+1 < len(f.Via) && !haveLink[[2]string{name, f.Via[i+1]}] {
+				return fmt.Errorf("topospec: flow %d via hop %s->%s has no link (disconnected path)", f.Index, name, f.Via[i+1])
+			}
+		}
+		if prev, dup := viaIn[f.Ingress]; dup {
+			return fmt.Errorf("topospec: flows %d and %d share via ingress %q (hosts must be uniquely wired)", prev, f.Index, f.Ingress)
+		}
+		if prev, dup := viaOut[f.Egress]; dup {
+			return fmt.Errorf("topospec: flows %d and %d share via egress %q (hosts must be uniquely wired)", prev, f.Index, f.Egress)
+		}
+		viaIn[f.Ingress] = f.Index
+		viaOut[f.Egress] = f.Index
+		for _, rel := range f.Relays {
+			if !onPath[rel] {
+				return fmt.Errorf("topospec: flow %d relay %q is not on the via path", f.Index, rel)
+			}
+			if rel == f.Ingress || rel == f.Egress {
+				return fmt.Errorf("topospec: flow %d relay %q cannot be an endpoint", f.Index, rel)
+			}
+			if roles[rel] != RoleEdge {
+				return fmt.Errorf("topospec: flow %d relay %q is not an edge node", f.Index, rel)
+			}
 		}
 	}
 	return nil
@@ -371,7 +448,20 @@ func (s *Spec) Build(sched *sim.Scheduler) (*topology.Cloud, error) {
 			coreLinks[link.Name()] = link
 		}
 	}
-	if err := net.ComputeRoutes(); err != nil {
+	// When every flow pins its complete path, the all-pairs shortest-path
+	// pass is pure overhead: neighbor routes plus the per-flow overrides
+	// cover all data- and control-plane traffic. Generated fat-trees with
+	// hundreds of nodes rely on this.
+	allPinned := len(s.Flows) > 0
+	for _, f := range s.Flows {
+		if len(f.Via) == 0 {
+			allPinned = false
+			break
+		}
+	}
+	if allPinned {
+		net.InstallNeighborRoutes()
+	} else if err := net.ComputeRoutes(); err != nil {
 		return nil, err
 	}
 
@@ -379,28 +469,70 @@ func (s *Spec) Build(sched *sim.Scheduler) (*topology.Cloud, error) {
 	copy(flows, s.Flows)
 	sort.Slice(flows, func(i, j int) bool { return flows[i].Index < flows[j].Index })
 
+	byName := make(map[string]*netem.Link)
+	for _, l := range net.Links() {
+		byName[l.Name()] = l
+	}
+
 	placements := make([]topology.Placement, 0, len(flows))
 	for _, f := range flows {
-		path, err := net.Path(f.Ingress, f.Egress)
-		if err != nil {
-			return nil, fmt.Errorf("topospec: flow %d: %w", f.Index, err)
-		}
+		var path []string
 		var crossed []string
-		for i := 0; i+1 < len(path); i++ {
-			name := path[i] + "->" + path[i+1]
-			if _, isCore := coreLinks[name]; isCore {
-				crossed = append(crossed, name)
+		if len(f.Via) > 0 {
+			path = f.Via
+			if err := net.InstallRoute(path); err != nil {
+				return nil, fmt.Errorf("topospec: flow %d: %w", f.Index, err)
 			}
-		}
-		if len(crossed) == 0 {
-			// The oracle needs at least one constraint per flow; use the
-			// flow's tightest link along the path.
-			crossed = []string{tightestLink(net, path)}
-			if _, tracked := coreLinks[crossed[0]]; !tracked {
-				for _, l := range net.Links() {
-					if l.Name() == crossed[0] {
-						coreLinks[crossed[0]] = l
+			if len(f.Relays) > 0 {
+				// Re-marked flows address one control segment at a time,
+				// so intermediate gateways are packet destinations in
+				// their own right: install each segment's route toward
+				// its gateway (the full-path install above already covers
+				// the final segment).
+				pos := make(map[string]int, len(path))
+				for i, n := range path {
+					pos[n] = i
+				}
+				rels := append([]string(nil), f.Relays...)
+				sort.Slice(rels, func(i, j int) bool { return pos[rels[i]] < pos[rels[j]] })
+				start := 0
+				for _, rel := range rels {
+					end := pos[rel]
+					if err := net.InstallRoute(path[start : end+1]); err != nil {
+						return nil, fmt.Errorf("topospec: flow %d relay %s: %w", f.Index, rel, err)
 					}
+					start = end
+				}
+			}
+			// A pinned path is a deliberate ECMP choice: every link on it
+			// is a capacity constraint the oracle must know about (the
+			// per-flow host access links are private, so including them
+			// only caps the flow at its own access rate — exact).
+			for i := 0; i+1 < len(path); i++ {
+				name := path[i] + "->" + path[i+1]
+				crossed = append(crossed, name)
+				if _, tracked := coreLinks[name]; !tracked {
+					coreLinks[name] = byName[name]
+				}
+			}
+		} else {
+			var err error
+			path, err = net.Path(f.Ingress, f.Egress)
+			if err != nil {
+				return nil, fmt.Errorf("topospec: flow %d: %w", f.Index, err)
+			}
+			for i := 0; i+1 < len(path); i++ {
+				name := path[i] + "->" + path[i+1]
+				if _, isCore := coreLinks[name]; isCore {
+					crossed = append(crossed, name)
+				}
+			}
+			if len(crossed) == 0 {
+				// The oracle needs at least one constraint per flow; use the
+				// flow's tightest link along the path.
+				crossed = []string{tightestLink(net, path)}
+				if _, tracked := coreLinks[crossed[0]]; !tracked {
+					coreLinks[crossed[0]] = byName[crossed[0]]
 				}
 			}
 		}
@@ -411,6 +543,7 @@ func (s *Spec) Build(sched *sim.Scheduler) (*topology.Cloud, error) {
 			Egress:    f.Egress,
 			CoreLinks: crossed,
 			Hops:      len(path) - 1,
+			Relays:    f.Relays,
 		})
 	}
 
@@ -426,6 +559,42 @@ func (s *Spec) Build(sched *sim.Scheduler) (*topology.Cloud, error) {
 		CoreLinks:  coreLinks,
 		CoreNodes:  coreNodes,
 	}, nil
+}
+
+// Format renders the spec back into the text format Parse reads, one
+// directive per line in deterministic order. Generators use it to persist
+// specs (and to feed the fuzz corpus); Parse(Format(s)) round-trips every
+// field.
+func (s *Spec) Format() string {
+	var b strings.Builder
+	for _, n := range s.Nodes {
+		fmt.Fprintf(&b, "node %s %s\n", n.Name, n.Role)
+	}
+	for _, l := range s.Links {
+		fmt.Fprintf(&b, "link %s %s %sbps %s", l.From, l.To,
+			strconv.FormatFloat(l.RateBps, 'g', -1, 64), l.Delay)
+		if l.QueueCap > 0 {
+			fmt.Fprintf(&b, " queue=%d", l.QueueCap)
+		}
+		b.WriteByte('\n')
+	}
+	for _, f := range s.Flows {
+		fmt.Fprintf(&b, "flow %d %s %s", f.Index, f.Ingress, f.Egress)
+		if f.Weight != 1 {
+			fmt.Fprintf(&b, " weight=%s", strconv.FormatFloat(f.Weight, 'g', -1, 64))
+		}
+		if f.MinRate > 0 {
+			fmt.Fprintf(&b, " min=%s", strconv.FormatFloat(f.MinRate, 'g', -1, 64))
+		}
+		if len(f.Via) > 0 {
+			fmt.Fprintf(&b, " via=%s", strings.Join(f.Via, ":"))
+		}
+		if len(f.Relays) > 0 {
+			fmt.Fprintf(&b, " relay=%s", strings.Join(f.Relays, ":"))
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
 }
 
 // tightestLink returns the name of the lowest-rate link on the path.
