@@ -34,7 +34,7 @@ test:
 # it and its primary caller must stay race-clean. The observability layer
 # rides along in every pool job, so it is covered here too.
 race:
-	$(GO) test -race ./internal/run ./internal/experiments ./internal/obs
+	$(GO) test -race ./internal/run ./internal/experiments ./internal/obs ./internal/flowsim
 
 vet:
 	$(GO) vet ./...
@@ -75,6 +75,7 @@ fuzz:
 	$(GO) test ./internal/sim -run '^$$' -fuzz FuzzScheduler -fuzztime $(FUZZ_TIME)
 	$(GO) test ./internal/topospec -run '^$$' -fuzz FuzzTopoSpec -fuzztime $(FUZZ_TIME)
 	$(GO) test ./internal/experiments -run '^$$' -fuzz FuzzFlowSim -fuzztime $(FUZZ_TIME)
+	$(GO) test ./internal/flowsim -run '^$$' -fuzz FuzzIncrementalAlloc -fuzztime $(FUZZ_TIME)
 
 # cover fails if total statement coverage over the library packages drops
 # below COVERAGE_BASELINE percent.

@@ -580,3 +580,30 @@ func BenchmarkFlowChain10k(b *testing.B) {
 	}
 	benchFlowScenario(b, sc)
 }
+
+// BenchmarkFlowFatTree100k is the next order of magnitude: a k=8 fat-tree
+// carrying 100000 heavy-tailed flows (elephants, churning mice, a few
+// unresponsive blasts) for 90 simulated seconds. It exists to exercise the
+// incremental dirty-set solver — a monolithic re-solve per event is
+// hopeless at this scale — together with the direct spec→fluid build that
+// skips constructing the 200k-node packet network. The fabric is
+// dimensioned for the flow count (400 Mbps ≈ 50k pkt/s per fabric link, so
+// ~1500 sharers get real rates instead of a floor-oversubscribed zero
+// allocation); the coarse 5s sample window bounds series memory, not
+// solver work.
+func BenchmarkFlowFatTree100k(b *testing.B) {
+	gen, err := corelite.ParseGenerate("fattree:k=8,flows=100000,fabric=400Mbps", "heavytail:elephants=0.05,eweight=4,unresp=0.01,urate=350")
+	if err != nil {
+		b.Fatal(err)
+	}
+	sc := corelite.Scenario{
+		Name:         "flow-fattree-100k",
+		Duration:     90 * time.Second,
+		Seed:         1,
+		Scheme:       corelite.SchemeCorelite,
+		Backend:      corelite.BackendFlow,
+		Generate:     gen,
+		SampleWindow: 5 * time.Second,
+	}
+	benchFlowScenario(b, sc)
+}

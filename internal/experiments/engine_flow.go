@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"fmt"
+	"sort"
 	"strconv"
 	"time"
 
@@ -12,6 +13,7 @@ import (
 	"repro/internal/packet"
 	"repro/internal/sim"
 	"repro/internal/topology"
+	"repro/internal/topospec"
 	"repro/internal/workload"
 )
 
@@ -75,6 +77,11 @@ func (flowEngine) Run(sc Scenario) (*Result, error) {
 		onChecks = sc.Check.AddChecks
 	}
 
+	solver := flowsim.SolverAuto
+	if sc.FullSolve {
+		solver = flowsim.SolverFull
+	}
+
 	out, err := flowsim.Run(flowsim.Config{
 		Model:        fm.model,
 		Horizon:      sc.Duration,
@@ -82,6 +89,7 @@ func (flowEngine) Run(sc Scenario) (*Result, error) {
 		SampleWindow: sc.SampleWindow,
 		Control:      control,
 		Adapt:        adaptCfg,
+		Solver:       solver,
 		Schedules:    schedules,
 		OnViolation:  onViolation,
 		OnChecks:     onChecks,
@@ -142,6 +150,15 @@ func buildFlowModel(sc Scenario) (*flowModel, error) {
 	if sc.Chain != nil {
 		return buildChainModel(sc)
 	}
+	if sc.Spec != nil && len(sc.Spec.Flows) >= flowsim.IncrementalMinFlows && specFullyPinned(sc.Spec) {
+		return buildSpecModelDirect(sc)
+	}
+	return buildCloudModel(sc)
+}
+
+// buildCloudModel is the generic fluid-model builder: construct the packet
+// network, take its oracle problem, and mirror it into a fluid graph.
+func buildCloudModel(sc Scenario) (*flowModel, error) {
 	cloud, err := buildCloud(sc, sim.NewScheduler())
 	if err != nil {
 		return nil, err
@@ -175,6 +192,107 @@ func buildFlowModel(sc Scenario) (*flowModel, error) {
 		}
 	}
 	return &flowModel{model: m, placements: cloud.Placements}, nil
+}
+
+// specFullyPinned reports whether every flow in the spec pins its complete
+// path, which is what makes the fluid model derivable without building the
+// packet network at all.
+func specFullyPinned(s *topospec.Spec) bool {
+	if len(s.Flows) == 0 {
+		return false
+	}
+	for _, f := range s.Flows {
+		if len(f.Via) == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// buildSpecModelDirect converts a fully-pinned spec straight into the fluid
+// capacity graph, skipping netem entirely. Building the packet network for
+// a 100k-flow fat-tree means 200k+ nodes, links and route installs that the
+// fluid engine then never touches; this path produces the identical model —
+// the same link set (each pinned path's links, promoted like Build does),
+// the same capacities (RateBps over 8·1000-byte packets, exactly the
+// packet network's PacketsPerSecond(1000)) and the same placements — so
+// the generic and direct builders are interchangeable (pinned by the
+// differential test in engine_flow_test.go).
+func buildSpecModelDirect(sc Scenario) (*flowModel, error) {
+	s := sc.Spec
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	roles := make(map[string]topospec.NodeRole, len(s.Nodes))
+	for _, n := range s.Nodes {
+		roles[n.Name] = n.Role
+	}
+	rate := make(map[string]float64, len(s.Links))
+	caps := make(map[string]float64, len(s.Links))
+	for _, l := range s.Links {
+		name := l.From + "->" + l.To
+		pps := l.RateBps / (8 * 1000.0)
+		rate[name] = pps
+		// Core-core links are capacity constraints even when no flow
+		// crosses them (cross traffic may target them), mirroring
+		// Cloud.CoreLinks before per-flow promotion.
+		if roles[l.From] == topospec.RoleCore && roles[l.To] == topospec.RoleCore {
+			caps[name] = pps
+		}
+	}
+	flows := make([]topospec.FlowSpec, len(s.Flows))
+	copy(flows, s.Flows)
+	sort.Slice(flows, func(i, j int) bool { return flows[i].Index < flows[j].Index })
+	// Every link on a pinned path is promoted into the constraint set, the
+	// same rule Build applies to via-pinned flows.
+	for _, f := range flows {
+		for i := 0; i+1 < len(f.Via); i++ {
+			name := f.Via[i] + "->" + f.Via[i+1]
+			pps, ok := rate[name]
+			if !ok {
+				return nil, fmt.Errorf("flow %d: pinned hop %q is not a link", f.Index, name)
+			}
+			caps[name] = pps
+		}
+	}
+	if err := applyCross(sc, caps); err != nil {
+		return nil, err
+	}
+	m := flowsim.NewModel()
+	placements := make([]topology.Placement, 0, len(flows))
+	for _, f := range flows {
+		nHops := len(f.Via) - 1
+		links := make([]int, 0, nHops)
+		crossed := make([]string, 0, nHops)
+		for i := 0; i+1 < len(f.Via); i++ {
+			name := f.Via[i] + "->" + f.Via[i+1]
+			li, err := m.AddLink(name, caps[name])
+			if err != nil {
+				return nil, err
+			}
+			links = append(links, li)
+			crossed = append(crossed, name)
+		}
+		if err := m.AddFlow(flowsim.Flow{
+			Index:       f.Index,
+			Weight:      f.Weight,
+			MinRate:     sc.MinRates[f.Index],
+			FixedDemand: sc.Unresponsive[f.Index],
+			Links:       links,
+		}); err != nil {
+			return nil, err
+		}
+		placements = append(placements, topology.Placement{
+			Index:     f.Index,
+			Weight:    f.Weight,
+			Ingress:   f.Ingress,
+			Egress:    f.Egress,
+			CoreLinks: crossed,
+			Hops:      nHops,
+			Relays:    f.Relays,
+		})
+	}
+	return &flowModel{model: m, placements: placements}, nil
 }
 
 // buildChainModel generates the synthetic chain: Cores−1 equal links, each
@@ -264,8 +382,22 @@ func applyCross(sc Scenario, capacity map[string]float64) error {
 
 // flowExpectedRates solves the weighted max-min oracle directly on the
 // fluid model (whose capacities already account for cross traffic), for
-// the given active set (nil = all flows).
+// the given active set (nil = all flows). Large models use the fluid
+// engine's slice-based allocator — same algorithm, no string-keyed maps —
+// because at 10k+ flows the map-based reference solver dominates the whole
+// run; small models keep the maxmin package so the figure-scale expected
+// sets stay bit-for-bit what they always were.
 func flowExpectedRates(sc Scenario, fm *flowModel, active map[int]bool) (map[int]float64, error) {
+	if len(fm.model.Flows) >= flowsim.IncrementalMinFlows {
+		return flowExpectedRatesLarge(sc, fm, active), nil
+	}
+	return flowExpectedRatesMaxmin(sc, fm, active)
+}
+
+// flowExpectedRatesMaxmin is the map-based reference oracle (the maxmin
+// package), kept verbatim for small models and as the differential
+// reference for flowExpectedRatesLarge.
+func flowExpectedRatesMaxmin(sc Scenario, fm *flowModel, active map[int]bool) (map[int]float64, error) {
 	p := maxmin.Problem{
 		Capacity: make(map[string]float64, len(fm.model.Links)),
 		Flows:    make(map[string]maxmin.Flow, len(fm.model.Flows)),
@@ -319,6 +451,45 @@ func flowExpectedRates(sc Scenario, fm *flowModel, active map[int]bool) (map[int
 		out[f.Index] = alloc[strconv.Itoa(f.Index)]
 	}
 	return out, nil
+}
+
+// flowExpectedRatesLarge is flowExpectedRates on the allocator: Corelite
+// unresponsive blasts come off the top of their links' capacities (on a
+// copy of the link table) and everyone else enters the water-filling with
+// unbounded demand. Agreement with the maxmin reference is pinned at 1e-6
+// by TestFlowExpectedRatesLargeMatchesMaxmin.
+func flowExpectedRatesLarge(sc Scenario, fm *flowModel, active map[int]bool) map[int]float64 {
+	m := fm.model
+	links := make([]flowsim.Link, len(m.Links))
+	copy(links, m.Links)
+	act := make([]bool, len(m.Flows))
+	dem := make([]float64, len(m.Flows))
+	out := make(map[int]float64, len(m.Flows))
+	for i, f := range m.Flows {
+		if active != nil && !active[f.Index] {
+			continue
+		}
+		if f.FixedDemand > 0 && sc.Scheme == SchemeCorelite {
+			for _, li := range f.Links {
+				c := links[li].Capacity - f.FixedDemand
+				if c < 0 {
+					c = 0
+				}
+				links[li].Capacity = c
+			}
+			out[f.Index] = f.FixedDemand
+			continue
+		}
+		act[i] = true
+		dem[i] = -1
+	}
+	rates := flowsim.SolveMaxMin(&flowsim.Model{Links: links, Flows: m.Flows}, act, dem)
+	for i, f := range m.Flows {
+		if act[i] {
+			out[f.Index] = rates[i]
+		}
+	}
+	return out
 }
 
 // checkFairnessFlows is the flow backend's differential oracle feed,

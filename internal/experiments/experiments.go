@@ -71,6 +71,14 @@ type Scenario struct {
 	// instead of the fused per-link chain. Output is byte-identical either
 	// way; the knob exists for differential testing and profiling.
 	UnfusedLinks bool
+	// FullSolve forces the flow backend's monolithic water-filling solve
+	// after every event batch instead of the incremental dirty-set solver
+	// that large models select automatically. Small models (fewer than
+	// flowsim.IncrementalMinFlows flows — all paper figures) always use
+	// the full solve, so there this is a no-op; at scale it is the
+	// differential reference for the incremental path. The packet backend
+	// ignores it.
+	FullSolve bool
 	// Duration is the simulated time horizon.
 	Duration time.Duration
 	// Seed drives all randomness; identical seeds give identical traces.

@@ -9,6 +9,12 @@ package flowsim
 // after every control epoch with 10k flows. The agreement between the two
 // implementations is pinned by differential tests (alloc_test.go).
 //
+// On top of the monolithic solve, the allocator optionally maintains the
+// previous solution between calls (enableIncremental) so that
+// solveIncremental (alloc_incr.go) can re-solve only the region of the
+// graph a change set actually touches — the dirty-set machinery behind the
+// engine's 100k-flow scaling.
+//
 // Minimum rate contracts follow maxmin.SolveWithMinimums: the contracted
 // floors are pre-subtracted from link capacities, the excess demand is
 // water-filled, and the floor is added back — so a contracted flow always
@@ -16,8 +22,11 @@ package flowsim
 type allocator struct {
 	m *Model
 
-	// linkFlows lists, per link, the flows crossing it (static).
-	linkFlows [][]int32
+	// Link→flow adjacency in CSR form, built once per model: the flows
+	// crossing link li are lfFlows[lfStart[li]:lfStart[li+1]]. (The
+	// flow→link direction is Model.Flows[fi].Links.)
+	lfStart []int32
+	lfFlows []int32
 
 	// Per-flow scratch, reused across solves.
 	frozen []bool
@@ -28,94 +37,169 @@ type allocator struct {
 	activeW  []float64 // summed weight of unfrozen flows
 	consumed []float64 // rate consumed by frozen flows
 	cap      []float64 // effective capacity this solve
-	version  []int32   // invalidates stale heap entries
 	linkDone []bool
 
 	heap allocHeap
+
+	// incr, when non-nil, carries the previous solution between solves so
+	// solveIncremental can skip, fold, or regionally re-solve changes
+	// (alloc_incr.go). The full solve records into it too, so the two entry
+	// points can interleave freely.
+	incr *incrState
 }
 
 // allocEntry is one pending water-level event: a flow reaching its demand
-// (isFlow) or a link saturating.
+// (isFlow) or a link saturating. Link entries are lazy — a link is never
+// re-enqueued when freezes raise its saturation level; instead a popped
+// link entry whose stored level is stale is re-pushed at the current level
+// (see solve). That keeps exactly one live entry per link, so the heap
+// holds at most F+L entries instead of growing with every freeze.
 type allocEntry struct {
-	level   float64
-	idx     int32
-	version int32
-	isFlow  bool
+	level  float64
+	idx    int32
+	isFlow bool
 }
 
-// allocHeap is a binary min-heap over (level, isFlow, idx); the secondary
-// keys make pop order — and therefore tie-breaking at equal water levels —
+// allocEntryLess orders events by (level, isFlow, idx); the secondary keys
+// make pop order — and therefore tie-breaking at equal water levels —
 // deterministic.
-type allocHeap []allocEntry
-
-func (h allocHeap) less(i, j int) bool {
-	if h[i].level != h[j].level {
-		return h[i].level < h[j].level
+func allocEntryLess(a, b allocEntry) bool {
+	if a.level != b.level {
+		return a.level < b.level
 	}
-	if h[i].isFlow != h[j].isFlow {
-		return h[i].isFlow // demand caps bind before link saturation at ties
+	if a.isFlow != b.isFlow {
+		return a.isFlow // demand caps bind before link saturation at ties
 	}
-	return h[i].idx < h[j].idx
+	return a.idx < b.idx
 }
+
+// allocHeapArity is the heap fan-out: as in the engine's event queue, a
+// 4-ary layout halves the tree depth and keeps each node's children in
+// adjacent slots.
+const allocHeapArity = 4
+
+// allocHeap is a 4-ary min-heap over (level, isFlow, idx). Both operations
+// use the hole technique — the moving entry is held aside and written once
+// at its final slot instead of swapped level by level.
+type allocHeap []allocEntry
 
 func (h *allocHeap) push(e allocEntry) {
 	*h = append(*h, e)
-	i := len(*h) - 1
+	es := *h
+	i := len(es) - 1
 	for i > 0 {
-		parent := (i - 1) / 2
-		if !h.less(i, parent) {
+		parent := (i - 1) / allocHeapArity
+		if !allocEntryLess(e, es[parent]) {
 			break
 		}
-		(*h)[i], (*h)[parent] = (*h)[parent], (*h)[i]
+		es[i] = es[parent]
 		i = parent
 	}
+	es[i] = e
 }
 
 func (h *allocHeap) pop() allocEntry {
 	old := *h
 	top := old[0]
 	n := len(old) - 1
-	old[0] = old[n]
+	moved := old[n]
 	*h = old[:n]
-	i := 0
-	for {
-		l, r := 2*i+1, 2*i+2
-		small := i
-		if l < n && (*h).less(l, small) {
-			small = l
-		}
-		if r < n && (*h).less(r, small) {
-			small = r
-		}
-		if small == i {
-			break
-		}
-		(*h)[i], (*h)[small] = (*h)[small], (*h)[i]
-		i = small
+	if n > 0 {
+		old[:n].siftDown(0, moved)
 	}
 	return top
 }
 
-// newAllocator builds the static per-link flow lists for m.
+// siftDown moves e down from slot i to its final position.
+func (h allocHeap) siftDown(i int, e allocEntry) {
+	n := len(h)
+	for {
+		first := allocHeapArity*i + 1
+		if first >= n {
+			break
+		}
+		small := first
+		end := first + allocHeapArity
+		if end > n {
+			end = n
+		}
+		for c := first + 1; c < end; c++ {
+			if allocEntryLess(h[c], h[small]) {
+				small = c
+			}
+		}
+		if !allocEntryLess(h[small], e) {
+			break
+		}
+		h[i] = h[small]
+		i = small
+	}
+	h[i] = e
+}
+
+// heapify establishes the heap property over arbitrary contents in O(n) —
+// the bulk build used at the start of each solve, replacing n·log n
+// individual pushes.
+func (h allocHeap) heapify() {
+	n := len(h)
+	if n < 2 {
+		return
+	}
+	for i := (n - 2) / allocHeapArity; i >= 0; i-- {
+		h.siftDown(i, h[i])
+	}
+}
+
+// newAllocator builds the static link→flow CSR adjacency for m.
 func newAllocator(m *Model) *allocator {
 	a := &allocator{
-		m:         m,
-		linkFlows: make([][]int32, len(m.Links)),
-		frozen:    make([]bool, len(m.Flows)),
-		dem:       make([]float64, len(m.Flows)),
-		activeW:   make([]float64, len(m.Links)),
-		consumed:  make([]float64, len(m.Links)),
-		cap:       make([]float64, len(m.Links)),
-		version:   make([]int32, len(m.Links)),
-		linkDone:  make([]bool, len(m.Links)),
-		heap:      make(allocHeap, 0, len(m.Flows)+len(m.Links)),
+		m:        m,
+		lfStart:  make([]int32, len(m.Links)+1),
+		frozen:   make([]bool, len(m.Flows)),
+		dem:      make([]float64, len(m.Flows)),
+		activeW:  make([]float64, len(m.Links)),
+		consumed: make([]float64, len(m.Links)),
+		cap:      make([]float64, len(m.Links)),
+		linkDone: make([]bool, len(m.Links)),
+		heap:     make(allocHeap, 0, len(m.Flows)+len(m.Links)),
 	}
-	for fi, f := range m.Flows {
-		for _, li := range f.Links {
-			a.linkFlows[li] = append(a.linkFlows[li], int32(fi))
+	total := 0
+	for fi := range m.Flows {
+		for _, li := range m.Flows[fi].Links {
+			a.lfStart[li+1]++
+		}
+		total += len(m.Flows[fi].Links)
+	}
+	for li := 0; li < len(m.Links); li++ {
+		a.lfStart[li+1] += a.lfStart[li]
+	}
+	a.lfFlows = make([]int32, total)
+	fill := make([]int32, len(m.Links))
+	for fi := range m.Flows {
+		for _, li := range m.Flows[fi].Links {
+			a.lfFlows[a.lfStart[li]+fill[li]] = int32(fi)
+			fill[li]++
 		}
 	}
 	return a
+}
+
+// flowsOn lists the flows crossing link li (ascending flow index).
+func (a *allocator) flowsOn(li int) []int32 {
+	return a.lfFlows[a.lfStart[li]:a.lfStart[li+1]]
+}
+
+// SolveMaxMin computes the demand-capped weighted max-min allocation for m
+// in one shot: active[i]/demand[i] follow the solve conventions below and
+// the result is indexed like m.Flows. It is the slice-based counterpart of
+// maxmin.SolveWithMinimums for callers (oracles, expected-rate checks) that
+// already hold a fluid model — at 100k flows it avoids the string-keyed
+// map solver entirely.
+func SolveMaxMin(m *Model, active []bool, demand []float64) []float64 {
+	a := newAllocator(m)
+	out := make([]float64, len(m.Flows))
+	a.solve(active, demand, out)
+	return out
 }
 
 // solve fills out[i] with the achieved rate of flow i given each flow's
@@ -124,13 +208,16 @@ func newAllocator(m *Model) *allocator {
 // have len(m.Flows).
 func (a *allocator) solve(active []bool, demand []float64, out []float64) {
 	m := a.m
+	s := a.incr
 	a.res = out
 	for li := range m.Links {
 		a.activeW[li] = 0
 		a.consumed[li] = 0
 		a.cap[li] = m.Links[li].Capacity
-		a.version[li] = 0
 		a.linkDone[li] = false
+		if s != nil {
+			s.linkFroze[li] = false
+		}
 	}
 	a.heap = a.heap[:0]
 
@@ -142,6 +229,11 @@ func (a *allocator) solve(active []bool, demand []float64, out []float64) {
 		out[fi] = 0
 		if !active[fi] || f.Weight <= 0 {
 			a.frozen[fi] = true
+			if s != nil {
+				s.capped[fi] = false
+				s.freezeLevel[fi] = 0
+				s.floor[fi] = 0
+			}
 			continue
 		}
 		floor := f.MinRate
@@ -160,10 +252,17 @@ func (a *allocator) solve(active []bool, demand []float64, out []float64) {
 				}
 			}
 		}
+		if s != nil {
+			s.floor[fi] = floor
+		}
 		if d >= 0 {
 			d -= floor
 			if d <= 0 {
 				a.frozen[fi] = true
+				if s != nil {
+					s.capped[fi] = true
+					s.freezeLevel[fi] = 0
+				}
 				continue
 			}
 		}
@@ -174,21 +273,24 @@ func (a *allocator) solve(active []bool, demand []float64, out []float64) {
 		}
 	}
 
+	h := a.heap
 	for fi := range m.Flows {
 		if a.frozen[fi] {
 			continue
 		}
 		if d := a.dem[fi]; d >= 0 {
-			a.heap.push(allocEntry{level: d / m.Flows[fi].Weight, idx: int32(fi), isFlow: true})
+			h = append(h, allocEntry{level: d / m.Flows[fi].Weight, idx: int32(fi), isFlow: true})
 		}
 	}
 	for li := range m.Links {
 		if a.activeW[li] > 0 {
-			a.pushLink(li)
+			h = append(h, allocEntry{level: a.linkLevel(li), idx: int32(li)})
 		} else {
 			a.linkDone[li] = true
 		}
 	}
+	h.heapify()
+	a.heap = h
 
 	for len(a.heap) > 0 {
 		e := a.heap.pop()
@@ -197,16 +299,24 @@ func (a *allocator) solve(active []bool, demand []float64, out []float64) {
 			if a.frozen[fi] {
 				continue
 			}
-			a.freeze(fi, a.dem[fi])
+			a.freeze(fi, a.dem[fi], e.level)
 			continue
 		}
 		li := int(e.idx)
-		if a.linkDone[li] || e.version != a.version[li] {
+		if a.linkDone[li] {
+			continue
+		}
+		level := a.linkLevel(li)
+		if level != e.level {
+			// Stale: freezes since this entry was pushed raised the link's
+			// saturation level. Re-enqueue at the current level — the lazy
+			// counterpart of eagerly re-pushing on every freeze.
+			a.heap.push(allocEntry{level: level, idx: e.idx})
 			continue
 		}
 		a.linkDone[li] = true
-		level := a.linkLevel(li)
-		for _, fi32 := range a.linkFlows[li] {
+		froze := false
+		for _, fi32 := range a.flowsOn(li) {
 			fi := int(fi32)
 			if a.frozen[fi] {
 				continue
@@ -215,7 +325,12 @@ func (a *allocator) solve(active []bool, demand []float64, out []float64) {
 			if d := a.dem[fi]; d >= 0 && r > d {
 				r = d
 			}
-			a.freeze(fi, r)
+			a.freeze(fi, r, level)
+			froze = true
+		}
+		if froze && s != nil {
+			s.linkFroze[li] = true
+			s.linkLevel[li] = level
 		}
 	}
 
@@ -223,7 +338,7 @@ func (a *allocator) solve(active []bool, demand []float64, out []float64) {
 	// of them; the fallback keeps fuzzed degenerate inputs total.
 	for fi := range m.Flows {
 		if !a.frozen[fi] {
-			a.freeze(fi, 0)
+			a.freeze(fi, 0, 0)
 		}
 	}
 }
@@ -242,17 +357,18 @@ func (a *allocator) linkLevel(li int) float64 {
 	return level
 }
 
-// pushLink (re)enqueues link li's saturation event at its current level.
-func (a *allocator) pushLink(li int) {
-	a.version[li]++
-	a.heap.push(allocEntry{level: a.linkLevel(li), idx: int32(li), version: a.version[li]})
-}
-
 // freeze pins flow fi at excess rate r (on top of any pre-allocated
-// contract floor) and updates its links.
-func (a *allocator) freeze(fi int, r float64) {
+// contract floor) and updates its links. lvl is the water level at the
+// freeze, recorded for the incremental solver's certificate checks. Link
+// events are not re-enqueued here — the pop loop detects the raised level
+// on a link entry's next pop and re-pushes it then (lazy link events).
+func (a *allocator) freeze(fi int, r, lvl float64) {
 	a.frozen[fi] = true
 	a.res[fi] += r
+	if s := a.incr; s != nil {
+		s.capped[fi] = a.dem[fi] >= 0 && r >= a.dem[fi]
+		s.freezeLevel[fi] = lvl
+	}
 	f := &a.m.Flows[fi]
 	for _, li := range f.Links {
 		if a.linkDone[li] {
@@ -263,8 +379,6 @@ func (a *allocator) freeze(fi int, r float64) {
 		if a.activeW[li] <= 1e-12 {
 			a.activeW[li] = 0
 			a.linkDone[li] = true
-			continue
 		}
-		a.pushLink(li)
 	}
 }

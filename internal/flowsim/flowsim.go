@@ -40,6 +40,46 @@ func (c Control) String() string {
 	}
 }
 
+// SolverMode selects how the engine re-solves the water-filling allocation
+// after events change the flow set or the demands.
+type SolverMode int
+
+const (
+	// SolverAuto (the default) picks per model: models with at least
+	// IncrementalMinFlows flows use the incremental dirty-set solver,
+	// smaller ones the monolithic full solve. Keeping small models on the
+	// full solve costs nothing (a full solve at figure scale is
+	// microseconds) and guarantees their output is bitwise identical across
+	// solver modes — the paper figures never depend on the incremental
+	// machinery.
+	SolverAuto SolverMode = iota
+	// SolverFull forces the monolithic solve after every change — the
+	// differential reference the incremental solver is tested against.
+	SolverFull
+	// SolverIncremental forces the dirty-set solver regardless of model
+	// size (used by the differential tests; agreement with SolverFull is
+	// within 1e-9, not bitwise, once regional re-solves occur).
+	SolverIncremental
+)
+
+// String implements fmt.Stringer.
+func (s SolverMode) String() string {
+	switch s {
+	case SolverAuto:
+		return "auto"
+	case SolverFull:
+		return "full"
+	case SolverIncremental:
+		return "incremental"
+	default:
+		return fmt.Sprintf("SolverMode(%d)", int(s))
+	}
+}
+
+// IncrementalMinFlows is the model size at which SolverAuto switches from
+// the monolithic solve to the incremental dirty-set solver.
+const IncrementalMinFlows = 256
+
 // ViolationKind classifies a fluid-model invariant breach.
 type ViolationKind int
 
@@ -89,6 +129,9 @@ type Config struct {
 	// Threshold is the congestion detection margin in pkt/s: a link is
 	// congested when the summed demand exceeds capacity − Threshold.
 	Threshold float64
+	// Solver selects the allocation strategy (see SolverMode); the zero
+	// value is SolverAuto.
+	Solver SolverMode
 	// Schedules holds one activity schedule per model flow (nil entries
 	// and a nil slice mean always active).
 	Schedules []workload.Schedule
@@ -246,9 +289,31 @@ type engine struct {
 	cumPrev []float64 // cum at the previous flush
 	fb      []float64 // fractional-indication accumulators (see epoch)
 
+	// Lazy integration (incremental solver only): the solver writes achieved
+	// rates into rates, and cur mirrors it flow by flow as the engine settles
+	// each touched flow's delivered/lost integrals up to lastSec. Untouched
+	// flows keep integrating lazily from advT — advance() stays O(1) per
+	// event instead of sweeping every active flow. In monolithic mode rates
+	// aliases cur and advance() integrates eagerly (bitwise-identical to the
+	// pre-incremental engine, which is what keeps small-scale figures
+	// byte-stable).
+	rates   []float64
+	advT    []float64 // per-flow last integration time, seconds
+	lastSec float64   // lastT in seconds, maintained by advance
+
 	sumDemand []float64 // per-link demand sums, epoch scratch
 	sumMark   []float64 // per-link marker-rate sums, epoch scratch
 	linkFn    []float64 // per-link feedback volume of the last epoch
+	checkSum  []float64 // per-link conservation scratch (checkers only)
+
+	// Change-set threading: every event that may move a flow's demand or
+	// membership marks the flow, and the pre-flush solve consumes the batch.
+	// An empty batch skips the solve entirely (slow-start epochs between
+	// doublings change nothing), and the incremental solver re-solves only
+	// what the batch touches.
+	incremental bool
+	changed     []int32
+	changedMark []bool
 
 	lastT  time.Duration
 	out    *Output
@@ -258,15 +323,17 @@ type engine struct {
 	// Liveness bookkeeping (Progress) and observability hooks (Obs). All
 	// instrument pointers are nil-receiver-safe, so the hot path pays a nil
 	// check at most.
-	nActive     int
-	flowSec     float64 // ∫ active dt, simulated flow-seconds
-	flowSecSent float64 // portion already published to Progress
-	solveHist   *obs.Histogram
-	ctrEpochs   *obs.Counter
-	ctrCong     *obs.Counter
-	ctrFeedback *obs.Counter
-	obsEvery    int // gauge sampling cadence in epochs; 0 = off
-	epochN      int
+	nActive       int
+	flowSec       float64 // ∫ active dt, simulated flow-seconds
+	flowSecSent   float64 // portion already published to Progress
+	solveHistFull *obs.Histogram
+	solveHistIncr *obs.Histogram
+	ctrEpochs     *obs.Counter
+	ctrCong       *obs.Counter
+	ctrFeedback   *obs.Counter
+	ctrTouched    *obs.Counter
+	obsEvery      int // gauge sampling cadence in epochs; 0 = off
+	epochN        int
 }
 
 // Run executes the fluid model to the horizon.
@@ -282,6 +349,9 @@ func Run(cfg Config) (*Output, error) {
 	}
 	if cfg.Control != ControlMarker && cfg.Control != ControlLoss {
 		return nil, fmt.Errorf("flowsim: unknown control %d", int(cfg.Control))
+	}
+	if cfg.Solver != SolverAuto && cfg.Solver != SolverFull && cfg.Solver != SolverIncremental {
+		return nil, fmt.Errorf("flowsim: unknown solver mode %d", int(cfg.Solver))
 	}
 	if cfg.Epoch <= 0 {
 		cfg.Epoch = 100 * time.Millisecond
@@ -345,11 +415,34 @@ func Run(cfg Config) (*Output, error) {
 		linkFn:    make([]float64, len(cfg.Model.Links)),
 		out:       &Output{Flows: make([]FlowOutput, n)},
 	}
+	e.incremental = cfg.Solver == SolverIncremental ||
+		(cfg.Solver == SolverAuto && n >= IncrementalMinFlows)
+	if e.incremental {
+		e.alloc.enableIncremental()
+		e.rates = make([]float64, n)
+		e.advT = make([]float64, n)
+	} else {
+		e.rates = e.cur
+	}
+	e.changed = make([]int32, 0, n)
+	e.changedMark = make([]bool, n)
+	if cfg.OnViolation != nil || cfg.OnChecks != nil {
+		e.checkSum = make([]float64, len(cfg.Model.Links))
+	}
 	for i := range e.ctrl {
 		ac := cfg.Adapt
 		ac.MinRate = cfg.Model.Flows[i].MinRate
 		e.ctrl[i] = adapt.NewController(ac)
 		e.fixed[i] = cfg.Model.Flows[i].FixedDemand > 0
+	}
+	// Size the measurement series up front: at 100k flows the flush-time
+	// growslice churn (300k growing series) otherwise dominates the run.
+	nsamp := int(cfg.Horizon / cfg.SampleWindow)
+	for i := range e.out.Flows {
+		f := &e.out.Flows[i]
+		f.Allowed = make(metrics.Series, 0, nsamp)
+		f.Rate = make(metrics.Series, 0, nsamp)
+		f.Cumulative = make(metrics.Series, 0, nsamp)
 	}
 	e.attachObs()
 	cfg.Progress.SetHorizon(cfg.Horizon)
@@ -407,11 +500,20 @@ func (e *engine) push(ev event) {
 	e.events.push(ev)
 }
 
+// markChanged adds flow i to the batch the next solve consumes.
+func (e *engine) markChanged(i int) {
+	if !e.changedMark[i] {
+		e.changedMark[i] = true
+		e.changed = append(e.changed, int32(i))
+	}
+}
+
 // run drains the event queue. Events at the same timestamp are processed in
 // priority order and the allocation is re-solved once per timestamp batch
-// whose events changed membership or demands.
+// whose events changed membership or demands (a batch that changed nothing
+// — a slow-start epoch between doublings, say — skips the solve: the
+// allocation is a pure function of the unchanged memberships and demands).
 func (e *engine) run() {
-	dirty := true // initial allocation (with t=0 arrivals applied)
 	flush := false
 	sample := false
 	for len(e.events) > 0 {
@@ -421,6 +523,11 @@ func (e *engine) run() {
 		switch ev.prio {
 		case prioDeparture:
 			i := int(ev.flow)
+			if e.incremental {
+				// Settle the integrals at the pre-departure demand before it
+				// is zeroed (the solve settles the rate itself).
+				e.integrate(i)
+			}
 			if !e.fixed[i] {
 				e.ctrl[i].Stop()
 			}
@@ -428,9 +535,13 @@ func (e *engine) run() {
 			e.demand[i] = 0
 			e.fb[i] = 0
 			e.nActive--
-			dirty = true
+			e.markChanged(i)
 		case prioArrival:
 			i := int(ev.flow)
+			if e.incremental {
+				// Skip the inactive span: rate and loss were zero while off.
+				e.advT[i] = e.lastSec
+			}
 			e.active[i] = true
 			if e.fixed[i] {
 				// Unresponsive: the demand is pinned; no slow-start, no
@@ -442,10 +553,9 @@ func (e *engine) run() {
 			}
 			e.fb[i] = 0
 			e.nActive++
-			dirty = true
+			e.markChanged(i)
 		case prioEpoch:
 			e.epoch(ev.at)
-			dirty = true
 			if e.obsEvery > 0 {
 				e.epochN++
 				if e.epochN%e.obsEvery == 0 {
@@ -458,10 +568,7 @@ func (e *engine) run() {
 		if len(e.events) > 0 && e.events[0].at == ev.at {
 			continue
 		}
-		if dirty {
-			e.solve()
-			dirty = false
-		}
+		e.solve()
 		if sample {
 			// Gauge snapshot at the epoch boundary, after the re-solve, on
 			// the engine's own event — no extra events, no model reads that
@@ -475,28 +582,77 @@ func (e *engine) run() {
 		}
 	}
 	e.advance(e.cfg.Horizon)
+	if e.incremental {
+		e.integrateAll()
+	}
 }
 
-// solve re-runs the water-filling allocation, timing it (wall clock) when
-// the solve histogram is attached.
+// solve consumes the pending change batch and re-runs the water-filling
+// allocation — incrementally over the affected region when the incremental
+// solver is selected, monolithically otherwise — timing it (wall clock)
+// when the solve histograms are attached. An empty batch is a no-op.
 func (e *engine) solve() {
-	if e.solveHist == nil {
-		e.alloc.solve(e.active, e.demand, e.cur)
+	if len(e.changed) == 0 {
 		return
 	}
-	t0 := time.Now()
-	e.alloc.solve(e.active, e.demand, e.cur)
-	e.solveHist.Observe(time.Since(t0).Seconds())
+	timed := e.solveHistFull != nil
+	var t0 time.Time
+	if timed {
+		t0 = time.Now()
+	}
+	if e.incremental {
+		touched, full := e.alloc.solveIncremental(e.active, e.demand, e.rates, e.changed)
+		e.ctrTouched.Add(int64(touched))
+		// Settle each rewritten flow's integrals at its old rate, then adopt
+		// the new one; everything else keeps integrating lazily.
+		if full {
+			for i := range e.cur {
+				e.integrate(i)
+				e.cur[i] = e.rates[i]
+			}
+		} else {
+			for _, fi := range e.alloc.incr.touchedList {
+				i := int(fi)
+				e.integrate(i)
+				e.cur[i] = e.rates[i]
+			}
+		}
+		if timed {
+			if full {
+				e.solveHistFull.Observe(time.Since(t0).Seconds())
+			} else {
+				e.solveHistIncr.Observe(time.Since(t0).Seconds())
+			}
+		}
+	} else {
+		e.alloc.solve(e.active, e.demand, e.cur)
+		e.ctrTouched.Add(int64(len(e.m.Flows)))
+		if timed {
+			e.solveHistFull.Observe(time.Since(t0).Seconds())
+		}
+	}
+	for _, fi := range e.changed {
+		e.changedMark[fi] = false
+	}
+	e.changed = e.changed[:0]
 }
 
-// advance integrates the piecewise-constant rates up to t.
+// advance integrates the piecewise-constant rates up to t. Under the
+// incremental solver the per-flow integrals are settled lazily (integrate /
+// integrateAll) and only the O(1) aggregates move here; monolithic mode
+// sweeps every active flow eagerly, exactly as before the incremental path
+// existed.
 func (e *engine) advance(t time.Duration) {
 	dt := (t - e.lastT).Seconds()
 	if dt <= 0 {
 		return
 	}
 	e.lastT = t
+	e.lastSec = t.Seconds()
 	e.flowSec += float64(e.nActive) * dt
+	if e.incremental {
+		return
+	}
 	loss := e.cfg.Control == ControlLoss
 	for i, on := range e.active {
 		if !on {
@@ -510,6 +666,31 @@ func (e *engine) advance(t time.Duration) {
 				e.lost[i] += excess * dt
 			}
 		}
+	}
+}
+
+// integrate settles flow i's delivered/lost integrals up to lastSec using
+// its current rate and demand. Callers must invoke it before either the
+// flow's rate (cur) or — for flows that accrue loss — its demand changes;
+// rate and demand are piecewise-constant between those call sites, which is
+// what makes the deferred integral exact.
+func (e *engine) integrate(i int) {
+	if dt := e.lastSec - e.advT[i]; dt > 0 {
+		e.cum[i] += e.cur[i] * dt
+		if e.cfg.Control == ControlLoss || e.fixed[i] {
+			if excess := e.demand[i] - e.cur[i]; excess > 0 {
+				e.lost[i] += excess * dt
+			}
+		}
+	}
+	e.advT[i] = e.lastSec
+}
+
+// integrateAll settles every flow's integrals up to lastSec — measurement
+// flushes and the end of the run need globally consistent cum values.
+func (e *engine) integrateAll() {
+	for i := range e.cum {
+		e.integrate(i)
 	}
 }
 
@@ -609,7 +790,16 @@ func (e *engine) epoch(now time.Duration) {
 			e.fb[i] = 0
 			e.ctrFeedback.Add(int64(ind))
 		}
-		e.demand[i] = e.ctrl[i].OnEpoch(now, ind)
+		if next := e.ctrl[i].OnEpoch(now, ind); next != e.demand[i] {
+			if e.incremental && e.cfg.Control == ControlLoss {
+				// Loss accrues against the demand, so settle the integrals at
+				// the old demand before it moves (under the marker control
+				// only fixed flows accrue loss and their demand never moves).
+				e.integrate(i)
+			}
+			e.demand[i] = next
+			e.markChanged(i)
+		}
 	}
 	e.ctrEpochs.Inc()
 	if anyInd {
@@ -620,6 +810,9 @@ func (e *engine) epoch(now time.Duration) {
 // flush closes one measurement window at t: append the window's series
 // samples and run the fluid invariant checks.
 func (e *engine) flush(t time.Duration) {
+	if e.incremental {
+		e.integrateAll()
+	}
 	window := e.cfg.SampleWindow.Seconds()
 	for i := range e.out.Flows {
 		f := &e.out.Flows[i]
@@ -653,20 +846,22 @@ func (e *engine) check(t time.Duration) {
 		}
 	}
 	const relEps = 1e-9
+	// One pass over the flows accumulates every link's conservation sum —
+	// O(F·span + L), which is what keeps `-check` viable at 100k flows.
+	for li := range e.checkSum {
+		e.checkSum[li] = 0
+	}
+	for i, on := range e.active {
+		if !on {
+			continue
+		}
+		for _, li := range e.m.Flows[i].Links {
+			e.checkSum[li] += e.cur[i]
+		}
+	}
 	for li := range e.m.Links {
 		checks++
-		sum := 0.0
-		for i, on := range e.active {
-			if !on {
-				continue
-			}
-			for _, l := range e.m.Flows[i].Links {
-				if l == li {
-					sum += e.cur[i]
-					break
-				}
-			}
-		}
+		sum := e.checkSum[li]
 		capacity := e.m.Links[li].Capacity
 		if sum > capacity*(1+relEps)+relEps {
 			report(Violation{At: t, Kind: KindConservation, Site: e.m.Links[li].Name,

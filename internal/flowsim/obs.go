@@ -24,7 +24,11 @@ func (e *engine) attachObs() {
 	if reg == nil {
 		return
 	}
-	e.solveHist = reg.Histogram(obs.HistSolve, "s")
+	e.solveHistFull = reg.Histogram(obs.HistSolveFull, "s")
+	if e.incremental {
+		e.solveHistIncr = reg.Histogram(obs.HistSolveIncremental, "s")
+	}
+	e.ctrTouched = reg.Counter(obs.CtrSolveTouched)
 	e.ctrEpochs = reg.Counter("fluid/epochs")
 	e.ctrCong = reg.Counter("core/fluid" + obs.SuffixCongestionEpochs)
 	e.ctrFeedback = reg.Counter("core/fluid" + obs.SuffixFeedbackSent)
@@ -73,7 +77,7 @@ func (e *engine) attachObs() {
 // level for saturated links, and the fluid analogue of CSFQ's alpha.
 func (e *engine) linkAlpha(li int) float64 {
 	level := 0.0
-	for _, fi32 := range e.alloc.linkFlows[li] {
+	for _, fi32 := range e.alloc.flowsOn(li) {
 		fi := int(fi32)
 		if !e.active[fi] {
 			continue

@@ -56,10 +56,18 @@ const (
 	// histogram (simulated seconds from a router's feedback decision to the
 	// edge applying it).
 	HistFeedbackRTT = "rtt/feedback"
-	// HistSolve is the fluid engine's per-event water-filling solve-time
-	// histogram (wall-clock seconds — the engine profiling itself, not the
-	// model).
+	// HistSolve is the shared name prefix of the fluid engine's wall-clock
+	// water-filling solve-time histograms (the engine profiling itself, not
+	// the model); the full/incremental split hangs off it.
 	HistSolve = "solve/water-fill"
+	// HistSolveFull times the monolithic solves over the whole model.
+	HistSolveFull = "solve/water-fill/full"
+	// HistSolveIncremental times the dirty-set regional re-solves.
+	HistSolveIncremental = "solve/water-fill/incremental"
+	// CtrSolveTouched counts the flows whose rate each solve recomputed —
+	// the direct measure of how sparse the incremental solver keeps the
+	// work ("fluid/solve/flows-touched").
+	CtrSolveTouched = "fluid/solve/flows-touched"
 	// SuffixCongestionEpochs is the per-router congestion-epoch counters
 	// ("core/<node>/congestion-epochs").
 	SuffixCongestionEpochs = "/congestion-epochs"
